@@ -1,0 +1,106 @@
+(* Benchmark harness: regenerates every table and figure of the paper
+   (Torrellas, Xia, Daigle - HPCA 1995) on the synthetic kernel, then
+   times the pipeline's hot stages with Bechamel.
+
+   Usage:
+     dune exec bench/main.exe                 -- all experiments + timing
+     dune exec bench/main.exe -- table1 fig12 -- selected experiments
+     dune exec bench/main.exe -- --no-timing  -- skip the Bechamel section
+     ICACHE_WORDS=4000000 dune exec bench/main.exe -- longer traces *)
+
+let words_from_env () =
+  match Sys.getenv_opt "ICACHE_WORDS" with
+  | Some s -> ( try int_of_string s with Failure _ -> 2_000_000)
+  | None -> 2_000_000
+
+let run_experiments ctx ids =
+  match ids with
+  | [] -> Experiments.run_all ctx
+  | ids ->
+      List.iter
+        (fun id ->
+          match Experiments.find id with
+          | e -> e.Experiments.run ctx
+          | exception Not_found ->
+              Printf.printf "unknown experiment %S; known: %s\n" id
+                (String.concat ", "
+                   (List.map (fun e -> e.Experiments.id) Experiments.all)))
+        ids
+
+let timing ctx =
+  let open Bechamel in
+  let model = ctx.Context.model in
+  let profile = ctx.Context.avg_os_profile in
+  let loops = Program_layout.os_loops model in
+  let program = snd ctx.Context.pairs.(0) in
+  let workload = fst ctx.Context.pairs.(0) in
+  let layouts = Levels.build ctx Levels.OptS in
+  let map = Program_layout.code_map layouts.(0) in
+  let trace = ctx.Context.traces.(0) in
+  let tests =
+    [
+      Test.make ~name:"kernel-generation"
+        (Staged.stage (fun () -> ignore (Generator.generate Spec.small)));
+      Test.make ~name:"trace-100k-words"
+        (Staged.stage (fun () ->
+             ignore
+               (Engine.run ~program ~workload ~words:100_000 ~seed:3
+                  ~sink:Engine.null_sink)));
+      Test.make ~name:"sequence-construction"
+        (Staged.stage (fun () ->
+             ignore
+               (Sequence.build ~graph:model.Model.graph ~profile
+                  ~seed_entry:(fun c -> (Model.seed_for model c).Model.entry)
+                  ~schedule:Schedule.paper ())));
+      Test.make ~name:"opt-s-layout"
+        (Staged.stage (fun () ->
+             ignore (Opt.os_layout ~model ~profile ~loops (Opt.params ()))));
+      Test.make ~name:"chang-hwu-layout"
+        (Staged.stage (fun () -> ignore (Chang_hwu.layout model.Model.graph profile)));
+      Test.make ~name:"pettis-hansen-layout"
+        (Staged.stage (fun () ->
+             ignore (Pettis_hansen.layout model.Model.graph profile)));
+      Test.make ~name:"inline-transform"
+        (Staged.stage (fun () -> ignore (Inline.transform ~model ~profile ())));
+      Test.make ~name:"stack-distance-pass"
+        (Staged.stage (fun () ->
+             ignore (Stack_dist.from_trace ~trace ~map ~os_only:true ())));
+      Test.make ~name:"cache-replay-8KB"
+        (Staged.stage (fun () ->
+             let sys = System.unified (Config.make ~size_kb:8 ()) in
+             Replay.run ~trace ~map ~systems:[ sys ]));
+    ]
+  in
+  print_newline ();
+  print_endline "=== Bechamel timing (monotonic clock, ns/run) ===";
+  List.iter
+    (fun test ->
+      let results =
+        Benchmark.all
+          (Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None ())
+          Toolkit.Instance.[ monotonic_clock ]
+          test
+      in
+      let ols =
+        Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+      in
+      Hashtbl.iter
+        (fun name raws ->
+          let result = Analyze.one ols Toolkit.Instance.monotonic_clock raws in
+          match Analyze.OLS.estimates result with
+          | Some [ est ] -> Printf.printf "  %-28s %14.0f\n%!" name est
+          | Some _ | None -> Printf.printf "  %-28s (no estimate)\n%!" name)
+        results)
+    tests
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let no_timing = List.mem "--no-timing" args in
+  let ids = List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) args in
+  let words = words_from_env () in
+  Printf.printf "Reproduction harness: %d instruction words per workload\n%!" words;
+  let t0 = Sys.time () in
+  let ctx = Context.create ~words () in
+  Printf.printf "context built in %.1fs (cpu)\n%!" (Sys.time () -. t0);
+  run_experiments ctx ids;
+  if not no_timing then timing ctx

@@ -1,0 +1,392 @@
+(* icache-opt: command-line driver for the reproduction pipeline.
+
+   Subcommands:
+     list         - list the reproduced tables and figures
+     repro        - run experiments (all, or by id)
+     simulate     - simulate one workload/layout/cache combination
+     characterize - print the kernel and workload characterization *)
+
+open Cmdliner
+
+let words_arg =
+  let doc = "Instruction words to trace per workload." in
+  Arg.(value & opt int 2_000_000 & info [ "words" ] ~docv:"N" ~doc)
+
+let seed_arg =
+  let doc = "Engine seed (the kernel itself is always built from the spec seed)." in
+  Arg.(value & opt int 11 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let small_arg =
+  let doc = "Use the scaled-down test kernel instead of the calibrated one." in
+  Arg.(value & flag & info [ "small" ] ~doc)
+
+let make_context ~small ~words ~seed =
+  let spec = if small then Spec.small else Spec.default in
+  Context.create ~spec ~words ~seed ()
+
+(* ------------------------------------------------------------------ *)
+(* list                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (e : Experiments.t) ->
+        Printf.printf "  %-8s %s\n" e.Experiments.id e.Experiments.title)
+      Experiments.all
+  in
+  Cmd.v
+    (Cmd.info "list" ~doc:"List the reproduced tables and figures")
+    Term.(const run $ const ())
+
+(* ------------------------------------------------------------------ *)
+(* repro                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let repro_cmd =
+  let ids_arg =
+    let doc = "Experiment ids (e.g. table1 fig12); all when omitted." in
+    Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc)
+  in
+  let run words seed small ids =
+    let ctx = make_context ~small ~words ~seed in
+    match ids with
+    | [] -> Experiments.run_all ctx
+    | ids ->
+        List.iter
+          (fun id ->
+            match Experiments.find id with
+            | e -> e.Experiments.run ctx
+            | exception Not_found ->
+                Printf.eprintf "unknown experiment %S; try 'icache-opt list'\n" id;
+                exit 1)
+          ids
+  in
+  Cmd.v
+    (Cmd.info "repro" ~doc:"Regenerate the paper's tables and figures")
+    Term.(const run $ words_arg $ seed_arg $ small_arg $ ids_arg)
+
+(* ------------------------------------------------------------------ *)
+(* simulate                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let simulate_cmd =
+  let workload_arg =
+    let doc = "Workload index 0-3 (TRFD_4, TRFD+Make, ARC2D+Fsck, Shell)." in
+    Arg.(value & opt int 0 & info [ "w"; "workload" ] ~docv:"I" ~doc)
+  in
+  let level_arg =
+    let doc = "Layout level: base, ch, opts, optl or opta." in
+    Arg.(value & opt string "opts" & info [ "l"; "level" ] ~docv:"LEVEL" ~doc)
+  in
+  let size_arg =
+    let doc = "Cache size in KB (power of two)." in
+    Arg.(value & opt int 8 & info [ "size-kb" ] ~docv:"KB" ~doc)
+  in
+  let assoc_arg =
+    let doc = "Associativity (power of two; 1 = direct-mapped)." in
+    Arg.(value & opt int 1 & info [ "assoc" ] ~docv:"WAYS" ~doc)
+  in
+  let line_arg =
+    let doc = "Line size in bytes (power of two)." in
+    Arg.(value & opt int 32 & info [ "line" ] ~docv:"BYTES" ~doc)
+  in
+  let run words seed small w level size_kb assoc line =
+    let level =
+      match String.lowercase_ascii level with
+      | "base" -> Levels.Base
+      | "ch" | "c-h" -> Levels.CH
+      | "opts" -> Levels.OptS
+      | "optl" -> Levels.OptL
+      | "opta" -> Levels.OptA
+      | other ->
+          Printf.eprintf "unknown level %S\n" other;
+          exit 1
+    in
+    let ctx = make_context ~small ~words ~seed in
+    if w < 0 || w >= Context.workload_count ctx then begin
+      Printf.eprintf "workload index out of range\n";
+      exit 1
+    end;
+    let layouts = Levels.build ctx level in
+    let config = Config.v ~size:(size_kb * 1024) ~assoc ~line in
+    let runs =
+      Runner.simulate ctx ~layouts
+        ~system:(fun () -> System.unified config)
+        ()
+    in
+    let c = runs.(w).Runner.counters in
+    Printf.printf "workload %s, layout %s, cache %s\n"
+      (Context.workload_names ctx).(w) (Levels.to_string level)
+      (Config.to_string config);
+    Printf.printf "  references  %12d words\n" (Counters.refs c);
+    Printf.printf "  misses      %12d (%.3f%%)\n" (Counters.misses c)
+      (100.0 *. Counters.miss_rate c);
+    Printf.printf "    OS:  cold %d, self %d, cross %d\n" c.Counters.os_cold
+      c.Counters.os_self c.Counters.os_cross;
+    Printf.printf "    app: cold %d, self %d, cross %d\n" c.Counters.app_cold
+      c.Counters.app_self c.Counters.app_cross
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Simulate one workload / layout / cache combination")
+    Term.(
+      const run $ words_arg $ seed_arg $ small_arg $ workload_arg $ level_arg
+      $ size_arg $ assoc_arg $ line_arg)
+
+(* ------------------------------------------------------------------ *)
+(* layout                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let layout_cmd =
+  let out_arg =
+    let doc = "Write the layout map here ('-' = stdout)." in
+    Arg.(value & opt string "-" & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+  in
+  let level_arg =
+    let doc = "Layout to emit: base, ch, opts or optl." in
+    Arg.(value & opt string "opts" & info [ "l"; "level" ] ~docv:"LEVEL" ~doc)
+  in
+  let run words seed small level out =
+    let ctx = make_context ~small ~words ~seed in
+    let model = ctx.Context.model in
+    let g = Context.os_graph ctx in
+    let profile = ctx.Context.avg_os_profile in
+    let map =
+      match String.lowercase_ascii level with
+      | "base" -> Base.layout g ~order:model.Model.base_order
+      | "ch" | "c-h" -> Chang_hwu.layout g profile
+      | "opts" ->
+          (Opt.os_layout ~model ~profile ~loops:(Context.os_loops ctx)
+             (Opt.params ()))
+            .Opt.map
+      | "optl" ->
+          (Opt.os_layout ~model ~profile ~loops:(Context.os_loops ctx)
+             (Opt.params ~extract_loops:true ()))
+            .Opt.map
+      | other ->
+          Printf.eprintf "unknown level %S\n" other;
+          exit 1
+    in
+    if out = "-" then Layout_file.write_channel stdout ~graph:g map
+    else begin
+      Layout_file.save out ~graph:g map;
+      Printf.printf "wrote %s (%d blocks, extent %d bytes)\n" out
+        (Address_map.placed_count map) (Address_map.extent map)
+    end
+  in
+  Cmd.v
+    (Cmd.info "layout" ~doc:"Emit a kernel code placement as a linker-map-like file")
+    Term.(const run $ words_arg $ seed_arg $ small_arg $ level_arg $ out_arg)
+
+(* ------------------------------------------------------------------ *)
+(* dot                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let dot_cmd =
+  let routine_arg =
+    let doc = "Routine name to draw (e.g. clock_intr)." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ROUTINE" ~doc)
+  in
+  let out_arg =
+    let doc = "Output .dot file ('-' = stdout)." in
+    Arg.(value & opt string "-" & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+  in
+  let run words seed small name out =
+    let ctx = make_context ~small ~words ~seed in
+    let g = Context.os_graph ctx in
+    let found = ref None in
+    Graph.iter_routines g (fun r ->
+        if r.Routine.name = name then found := Some r);
+    match !found with
+    | None ->
+        Printf.eprintf "no routine named %S\n" name;
+        exit 1
+    | Some r ->
+        let s =
+          Dot.routine_to_string g
+            ~weights:ctx.Context.avg_os_profile.Profile.block
+            ~loops:(Context.os_loops ctx) r
+        in
+        if out = "-" then print_string s
+        else begin
+          let oc = open_out out in
+          output_string oc s;
+          close_out oc;
+          Printf.printf "wrote %s\n" out
+        end
+  in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Export one kernel routine's flow graph as Graphviz dot")
+    Term.(const run $ words_arg $ seed_arg $ small_arg $ routine_arg $ out_arg)
+
+(* ------------------------------------------------------------------ *)
+(* sweep                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let sweep_cmd =
+  let list_arg name default doc =
+    Arg.(value & opt (list int) default & info [ name ] ~docv:"N,..." ~doc)
+  in
+  let sizes_arg = list_arg "sizes" [ 4; 8; 16; 32 ] "Cache sizes in KB." in
+  let assocs_arg = list_arg "assocs" [ 1 ] "Associativities." in
+  let lines_arg = list_arg "lines" [ 32 ] "Line sizes in bytes." in
+  let levels_arg =
+    let doc = "Layout levels (base, ch, opts, optl, opta)." in
+    Arg.(value & opt (list string) [ "base"; "opts" ] & info [ "levels" ] ~docv:"L,..." ~doc)
+  in
+  let out_arg =
+    let doc = "CSV output file ('-' = stdout)." in
+    Arg.(value & opt string "-" & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+  in
+  let run words seed small sizes assocs lines levels out =
+    let parse_level s =
+      match String.lowercase_ascii s with
+      | "base" -> Levels.Base
+      | "ch" | "c-h" -> Levels.CH
+      | "opts" -> Levels.OptS
+      | "optl" -> Levels.OptL
+      | "opta" -> Levels.OptA
+      | other ->
+          Printf.eprintf "unknown level %S\n" other;
+          exit 1
+    in
+    let levels = List.map parse_level levels in
+    let ctx = make_context ~small ~words ~seed in
+    let oc = if out = "-" then stdout else open_out out in
+    Printf.fprintf oc
+      "level,size_kb,assoc,line,workload,refs,misses,miss_rate,os_self,os_cross,app_self,app_cross\n";
+    List.iter
+      (fun level ->
+        let layouts = Levels.build ctx level in
+        List.iter
+          (fun size_kb ->
+            List.iter
+              (fun assoc ->
+                List.iter
+                  (fun line ->
+                    let config = Config.v ~size:(size_kb * 1024) ~assoc ~line in
+                    let runs =
+                      Runner.simulate ctx ~layouts
+                        ~system:(fun () -> System.unified config)
+                        ()
+                    in
+                    Array.iteri
+                      (fun i (r : Runner.run) ->
+                        let c = r.Runner.counters in
+                        Printf.fprintf oc "%s,%d,%d,%d,%s,%d,%d,%.6f,%d,%d,%d,%d\n"
+                          (Levels.to_string level) size_kb assoc line
+                          (Context.workload_names ctx).(i)
+                          (Counters.refs c) (Counters.misses c)
+                          (Counters.miss_rate c) c.Counters.os_self
+                          c.Counters.os_cross c.Counters.app_self
+                          c.Counters.app_cross)
+                      runs)
+                  lines)
+              assocs)
+          sizes)
+      levels;
+    if out <> "-" then begin
+      close_out oc;
+      Printf.printf "wrote %s\n" out
+    end
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:"Cross-product cache/layout sweep, one CSV row per cell")
+    Term.(
+      const run $ words_arg $ seed_arg $ small_arg $ sizes_arg $ assocs_arg
+      $ lines_arg $ levels_arg $ out_arg)
+
+(* ------------------------------------------------------------------ *)
+(* profile                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let profile_cmd =
+  let out_arg =
+    let doc = "Write the averaged OS profile here ('-' = stdout)." in
+    Arg.(value & opt string "-" & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+  in
+  let run words seed small out =
+    let ctx = make_context ~small ~words ~seed in
+    let g = Context.os_graph ctx in
+    let p = ctx.Context.avg_os_profile in
+    if out = "-" then Profile_file.write_channel stdout ~graph:g p
+    else begin
+      Profile_file.save out ~graph:g p;
+      Printf.printf "wrote %s (%d executed blocks, %.0f invocations)\n" out
+        (Profile.executed_block_count p) p.Profile.invocations
+    end
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Trace the four workloads and emit the averaged OS profile")
+    Term.(const run $ words_arg $ seed_arg $ small_arg $ out_arg)
+
+(* ------------------------------------------------------------------ *)
+(* trace                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let trace_cmd =
+  let workload_arg =
+    let doc = "Workload index 0-3 (TRFD_4, TRFD+Make, ARC2D+Fsck, Shell)." in
+    Arg.(value & opt int 0 & info [ "w"; "workload" ] ~docv:"I" ~doc)
+  in
+  let out_arg =
+    let doc = "Binary trace output file." in
+    Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+  in
+  let run words seed small w out =
+    let spec = if small then Spec.small else Spec.default in
+    let model = Generator.generate spec in
+    let pairs = Workload.standard_programs model in
+    if w < 0 || w >= Array.length pairs then begin
+      Printf.eprintf "workload index out of range\n";
+      exit 1
+    end;
+    let workload, program = pairs.(w) in
+    let trace, stats = Engine.capture ~program ~workload ~words ~seed in
+    Trace_file.save out trace;
+    Printf.printf "wrote %s: %d events, %d instruction words (%s)\n" out
+      (Trace.length trace) stats.Engine.total_words workload.Workload.name
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Capture one workload's instruction trace to a binary file")
+    Term.(const run $ words_arg $ seed_arg $ small_arg $ workload_arg $ out_arg)
+
+(* ------------------------------------------------------------------ *)
+(* characterize                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let characterize_cmd =
+  let run words seed small =
+    let ctx = make_context ~small ~words ~seed in
+    let g = Context.os_graph ctx in
+    Printf.printf "kernel: %d routines, %d blocks, %d bytes of code\n"
+      (Graph.routine_count g) (Graph.block_count g) (Graph.code_bytes g);
+    Array.iteri
+      (fun i ((w : Workload.t), _) ->
+        let p = ctx.Context.os_profiles.(i) in
+        let s = ctx.Context.stats.(i) in
+        Printf.printf "%-12s OS words %9d  invocations %6d  executed %6d bytes (%4.1f%%)\n"
+          w.Workload.name s.Engine.os_words
+          (Array.fold_left ( + ) 0 s.Engine.invocations)
+          (Profile.executed_bytes p g)
+          (Stats.pct (Profile.executed_bytes p g) (Graph.code_bytes g)))
+      ctx.Context.pairs
+  in
+  Cmd.v
+    (Cmd.info "characterize"
+       ~doc:"Summarize the kernel and the traced workloads")
+    Term.(const run $ words_arg $ seed_arg $ small_arg)
+
+let () =
+  let info =
+    Cmd.info "icache-opt" ~version:"1.0.0"
+      ~doc:
+        "Reproduction of 'Optimizing Instruction Cache Performance for \
+         Operating System Intensive Workloads' (Torrellas, Xia, Daigle - HPCA \
+         1995)"
+  in
+  exit (Cmd.eval (Cmd.group info
+       [ list_cmd; repro_cmd; simulate_cmd; characterize_cmd; layout_cmd; dot_cmd;
+         profile_cmd; sweep_cmd; trace_cmd ]))

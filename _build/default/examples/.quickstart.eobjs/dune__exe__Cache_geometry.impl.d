@@ -1,0 +1,1 @@
+examples/cache_geometry.ml: Array Config Context Counters Levels List Program_layout Replay Spec Speedup System Table Trace

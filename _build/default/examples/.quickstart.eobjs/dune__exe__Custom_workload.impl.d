@@ -1,0 +1,1 @@
+examples/custom_workload.ml: App_model Array Config Context Counters Engine Generator List Model Printf Prng Program Program_layout Replay Spec Stats System Table Trace Workload

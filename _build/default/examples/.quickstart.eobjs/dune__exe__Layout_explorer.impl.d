@@ -1,0 +1,1 @@
+examples/layout_explorer.ml: Address_map Array Block Context Graph Hashtbl List Model Opt Option Popularity Printf Schedule Sequence Service Spec

@@ -1,0 +1,1 @@
+examples/multiprocessor.ml: Array Config Context Counters Levels Multiproc Printf Program_layout Replay Spec System Table Trace Workload

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Config Counters Engine Generator Graph Model Printf Profile Program_layout Replay Spec Speedup System Trace Workload

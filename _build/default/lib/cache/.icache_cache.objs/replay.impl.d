@@ -1,0 +1,1 @@
+lib/cache/replay.ml: Array List System Trace

@@ -1,0 +1,1 @@
+lib/cache/replay.mli: System Trace

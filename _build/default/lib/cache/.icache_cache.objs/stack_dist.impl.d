@@ -1,0 +1,1 @@
+lib/cache/stack_dist.ml: Array Hashtbl Histogram List Program Replay Trace

@@ -1,0 +1,1 @@
+lib/cache/stack_dist.mli: Replay Trace

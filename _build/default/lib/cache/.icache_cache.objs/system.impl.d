@@ -1,0 +1,1 @@
+lib/cache/system.ml: Array Config Counters Hashtbl List Printf Sim

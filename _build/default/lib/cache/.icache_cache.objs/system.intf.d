@@ -1,0 +1,1 @@
+lib/cache/system.mli: Config Counters

@@ -1,0 +1,18 @@
+type code_map = { addr : int array array; bytes : int array array }
+
+let feed map systems ~image ~block =
+  let addr = map.addr.(image).(block) in
+  let bytes = map.bytes.(image).(block) in
+  let os = image = 0 in
+  List.iter (fun s -> System.access s ~os ~image ~block ~addr ~bytes) systems
+
+let run ~trace ~map ~systems = Trace.iter_exec trace (feed map systems)
+
+let run_range ~trace ~map ~systems ~warmup =
+  let i = ref 0 in
+  Trace.iter_exec trace (fun ~image ~block ->
+      feed map systems ~image ~block;
+      incr i;
+      if !i = warmup then
+        (* Keep cache contents, drop the counters gathered so far. *)
+        List.iter System.reset_counters systems)

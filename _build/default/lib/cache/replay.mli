@@ -1,0 +1,18 @@
+(** Replaying a captured block-level trace through one or more cache
+    systems under a given code placement. *)
+
+type code_map = {
+  addr : int array array;  (** Per image: block id -> byte address. *)
+  bytes : int array array;  (** Per image: block id -> block size. *)
+}
+
+val run : trace:Trace.t -> map:code_map -> systems:System.t list -> unit
+(** Feed every execution event to every system.  Systems accumulate
+    counters; call {!System.reset} first to reuse one. *)
+
+val run_range :
+  trace:Trace.t -> map:code_map -> systems:System.t list ->
+  warmup:int -> unit
+(** Like {!run} but resets all counters after the first [warmup] events so
+    reported numbers exclude the initial cold start (the paper's traces
+    are mid-execution snapshots with negligible first-time misses). *)

@@ -1,0 +1,189 @@
+type t = {
+  config : Config.t;
+  sets : int;
+  assoc : int;
+  line_shift : int;
+  tags : int array;
+      (** [sets * assoc], -1 = invalid.  Under LRU slot 0 is MRU and the
+          last slot the victim; under FIFO slot 0 is the newest insertion
+          (hits do not reorder); under Random insertion also fills slot 0
+          but the victim way is drawn uniformly. *)
+  prng : Prng.t option;  (** Only for [Config.Random]. *)
+  counters : Counters.t;
+  evicted_by_os : (int, bool) Hashtbl.t;  (** line -> last evictor was OS *)
+  mutable attr : int array array;  (** per image: per block miss counts *)
+  mutable attr_self : int array array;
+  mutable attr_cross : int array array;
+  mutable attribution : bool;
+}
+
+let log2 n =
+  let rec go v i = if v <= 1 then i else go (v lsr 1) (i + 1) in
+  go n 0
+
+let create config =
+  let sets = Config.sets config in
+  {
+    config;
+    sets;
+    assoc = config.Config.assoc;
+    line_shift = log2 config.Config.line;
+    tags = Array.make (sets * config.Config.assoc) (-1);
+    prng =
+      (match config.Config.policy with
+      | Config.Random seed -> Some (Prng.of_int seed)
+      | Config.Lru | Config.Fifo -> None);
+    counters = Counters.create ();
+    evicted_by_os = Hashtbl.create 4096;
+    attr = [||];
+    attr_self = [||];
+    attr_cross = [||];
+    attribution = false;
+  }
+
+let config t = t.config
+
+let counters t = t.counters
+
+let enable_block_attribution t ~images ~blocks =
+  if images <> Array.length blocks then
+    invalid_arg "Sim.enable_block_attribution: images/blocks mismatch";
+  t.attr <- Array.map (fun n -> Array.make n 0) blocks;
+  t.attr_self <- Array.map (fun n -> Array.make n 0) blocks;
+  t.attr_cross <- Array.map (fun n -> Array.make n 0) blocks;
+  t.attribution <- true
+
+let block_misses t ~image =
+  if not t.attribution then
+    invalid_arg "Sim.block_misses: attribution not enabled";
+  t.attr.(image)
+
+let block_misses_self t ~image =
+  if not t.attribution then
+    invalid_arg "Sim.block_misses_self: attribution not enabled";
+  t.attr_self.(image)
+
+let block_misses_cross t ~image =
+  if not t.attribution then
+    invalid_arg "Sim.block_misses_cross: attribution not enabled";
+  t.attr_cross.(image)
+
+(* Returns true on hit.  On miss, installs the line as MRU and records the
+   victim's evictor domain. *)
+let access_line t ~os line =
+  let set = line land (t.sets - 1) in
+  let base = set * t.assoc in
+  let assoc = t.assoc in
+  let tags = t.tags in
+  (* Find the way holding [line]. *)
+  let rec find i = if i = assoc then -1 else if tags.(base + i) = line then i else find (i + 1) in
+  let way = find 0 in
+  if way >= 0 then begin
+    (* LRU refreshes on hit; FIFO and Random do not. *)
+    (match t.config.Config.policy with
+    | Config.Lru ->
+        if way > 0 then begin
+          let v = tags.(base + way) in
+          Array.blit tags base tags (base + 1) way;
+          tags.(base) <- v
+        end
+    | Config.Fifo | Config.Random _ -> ());
+    true
+  end
+  else begin
+    (* Pick the victim way per policy, then insert at slot 0 so age order
+       is maintained for LRU/FIFO. *)
+    let victim_way =
+      match (t.config.Config.policy, t.prng) with
+      | Config.Random _, Some g ->
+          (* Prefer an invalid way; otherwise uniform. *)
+          let rec invalid i =
+            if i = assoc then None
+            else if tags.(base + i) < 0 then Some i
+            else invalid (i + 1)
+          in
+          (match invalid 0 with Some i -> i | None -> Prng.int g assoc)
+      | (Config.Lru | Config.Fifo | Config.Random _), _ -> assoc - 1
+    in
+    let victim = tags.(base + victim_way) in
+    if victim >= 0 then Hashtbl.replace t.evicted_by_os victim os;
+    Array.blit tags base tags (base + 1) victim_way;
+    tags.(base) <- line;
+    false
+  end
+
+(* Returns: 0 = cold, 1 = self-interference, 2 = cross-interference. *)
+let classify t ~os line =
+  let c = t.counters in
+  match Hashtbl.find_opt t.evicted_by_os line with
+  | None ->
+      if os then c.Counters.os_cold <- c.Counters.os_cold + 1
+      else c.Counters.app_cold <- c.Counters.app_cold + 1;
+      0
+  | Some evictor_os ->
+      if os then
+        if evictor_os then begin
+          c.Counters.os_self <- c.Counters.os_self + 1;
+          1
+        end
+        else begin
+          c.Counters.os_cross <- c.Counters.os_cross + 1;
+          2
+        end
+      else if evictor_os then begin
+        c.Counters.app_cross <- c.Counters.app_cross + 1;
+        2
+      end
+      else begin
+        c.Counters.app_self <- c.Counters.app_self + 1;
+        1
+      end
+
+let access t ~os ~image ~block ~addr ~bytes =
+  let words = if bytes <= 4 then 1 else bytes lsr 2 in
+  let c = t.counters in
+  if os then c.Counters.refs_os <- c.Counters.refs_os + words
+  else c.Counters.refs_app <- c.Counters.refs_app + words;
+  let first = addr lsr t.line_shift in
+  let last = (addr + bytes - 1) lsr t.line_shift in
+  for line = first to last do
+    if not (access_line t ~os line) then begin
+      let kind = classify t ~os line in
+      if t.attribution then begin
+        let a = t.attr.(image) in
+        a.(block) <- a.(block) + 1;
+        if kind = 1 then begin
+          let a = t.attr_self.(image) in
+          a.(block) <- a.(block) + 1
+        end
+        else if kind = 2 then begin
+          let a = t.attr_cross.(image) in
+          a.(block) <- a.(block) + 1
+        end
+      end
+    end
+  done
+
+let probe t ~addr =
+  let line = addr lsr t.line_shift in
+  let set = line land (t.sets - 1) in
+  let base = set * t.assoc in
+  let rec find i =
+    if i = t.assoc then false
+    else if t.tags.(base + i) = line then true
+    else find (i + 1)
+  in
+  find 0
+
+let reset_counters t =
+  Counters.reset t.counters;
+  if t.attribution then begin
+    Array.iter (fun a -> Array.fill a 0 (Array.length a) 0) t.attr;
+    Array.iter (fun a -> Array.fill a 0 (Array.length a) 0) t.attr_self;
+    Array.iter (fun a -> Array.fill a 0 (Array.length a) 0) t.attr_cross
+  end
+
+let reset t =
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
+  Hashtbl.reset t.evicted_by_os;
+  reset_counters t

@@ -1,0 +1,45 @@
+(** Cache organizations evaluated in Section 5.5: the standard unified
+    cache, the split OS/application cache ("Sep"), and a small reserved
+    cache for the hottest OS code next to a main cache ("Resv"). *)
+
+type t
+
+val unified : Config.t -> t
+
+val split : os:Config.t -> app:Config.t -> t
+(** OS fetches go to one half, application fetches to the other. *)
+
+val reserved : hot:Config.t -> rest:Config.t -> hot_limit:int -> t
+(** OS fetches at addresses below [hot_limit] go to the small [hot]
+    cache; everything else to [rest].  The layout must place the most
+    important OS code in [\[0, hot_limit)]. *)
+
+val victim : main:Config.t -> entries:int -> t
+(** A direct-mapped [main] cache backed by an [entries]-line
+    fully-associative LRU victim buffer (Jouppi 1990) - the classic
+    hardware remedy for the conflict misses the paper removes in
+    software.  Lines displaced from the main cache park in the buffer;
+    hitting one there swaps it back.  Per-block attribution is not
+    supported for this organization.
+    @raise Invalid_argument unless [main] is direct-mapped and
+    [entries >= 1]. *)
+
+val access : t -> os:bool -> image:int -> block:int -> addr:int -> bytes:int -> unit
+
+val counters : t -> Counters.t
+(** Aggregated snapshot (a fresh copy) across sub-caches. *)
+
+val reset_counters : t -> unit
+(** Zero all counters while keeping cache contents (warm-up support). *)
+
+val enable_block_attribution : t -> images:int -> blocks:int array -> unit
+
+val block_misses : t -> image:int -> int array
+(** Aggregated per-block misses across sub-caches. *)
+
+val block_misses_self : t -> image:int -> int array
+val block_misses_cross : t -> image:int -> int array
+
+val reset : t -> unit
+
+val describe : t -> string

@@ -1,0 +1,1 @@
+lib/cfg/arc.mli: Block

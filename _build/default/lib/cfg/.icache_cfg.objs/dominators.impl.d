@@ -1,0 +1,1 @@
+lib/cfg/dominators.ml: Arc Array Block Graph Hashtbl Routine

@@ -1,0 +1,1 @@
+lib/cfg/dot.ml: Arc Array Block Buffer Fun Graph Hashtbl List Loops Printf Routine String

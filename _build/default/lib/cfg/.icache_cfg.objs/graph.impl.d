@@ -1,0 +1,1 @@
+lib/cfg/graph.ml: Arc Array Block Hashtbl List Option Printf Routine

@@ -1,0 +1,1 @@
+lib/cfg/loops.ml: Arc Array Block Dominators Graph Hashtbl List Option Routine

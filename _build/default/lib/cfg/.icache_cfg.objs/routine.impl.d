@@ -1,0 +1,1 @@
+lib/cfg/routine.ml: Array Block

@@ -1,0 +1,9 @@
+type id = int
+
+type t = { id : id; routine : int; size : int; call : int option }
+
+let ends_in_call b = Option.is_some b.call
+
+let word_bytes = 4
+
+let instruction_words b = max 1 (b.size / word_bytes)

@@ -1,0 +1,28 @@
+(** Basic blocks.
+
+    A basic block is a straight-line run of instructions with a single entry
+    and a single exit.  Following the paper's model (Section 4), transitions
+    out of a block are conditional/unconditional branches and fall-throughs
+    (intra-routine {!Arc.t}s) plus procedure calls: a block that ends in a
+    call names its callee routine in [call], and the block's ordinary
+    outgoing arcs describe where control continues {e after the callee
+    returns}. *)
+
+type id = int
+(** Dense block identifier, unique within a {!Graph.t}. *)
+
+type t = {
+  id : id;
+  routine : int;  (** Owning routine's {!Routine.id}. *)
+  size : int;  (** Static size in bytes (always positive). *)
+  call : int option;  (** Callee routine id when the block ends in a call. *)
+}
+
+val ends_in_call : t -> bool
+
+val instruction_words : t -> int
+(** Number of fetchable instruction words ([size / word_bytes], at least
+    1). *)
+
+val word_bytes : int
+(** Instruction-word granularity used throughout the reproduction (4). *)

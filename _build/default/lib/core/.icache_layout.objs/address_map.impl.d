@@ -1,0 +1,1 @@
+lib/core/address_map.ml: Array Block Fun Graph Printf Seq

@@ -1,0 +1,1 @@
+lib/core/base.ml: Address_map Array Block Graph Routine

@@ -1,0 +1,1 @@
+lib/core/base.mli: Address_map Graph Routine

@@ -1,0 +1,1 @@
+lib/core/call_opt.ml: Address_map Array Block Graph Hashtbl List Loops Loopstat Model Opt Option Profile Program_layout Routine Schedule

@@ -1,0 +1,1 @@
+lib/core/call_opt.mli: Model Opt Profile

@@ -1,0 +1,1 @@
+lib/core/chang_hwu.ml: Address_map Arc Array Block Graph Hashtbl List Option Profile Routine

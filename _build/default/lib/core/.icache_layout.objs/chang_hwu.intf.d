@@ -1,0 +1,1 @@
+lib/core/chang_hwu.mli: Address_map Block Graph Profile Routine

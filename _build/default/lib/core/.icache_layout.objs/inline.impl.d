@@ -1,0 +1,1 @@
+lib/core/inline.ml: Arc Array Block Float Graph Hashtbl List Model Profile Routine

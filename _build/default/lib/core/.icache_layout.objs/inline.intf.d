@@ -1,0 +1,1 @@
+lib/core/inline.mli: Model Profile

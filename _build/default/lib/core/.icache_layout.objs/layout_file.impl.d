@@ -1,0 +1,1 @@
+lib/core/layout_file.ml: Address_map Array Block Buffer Fun Graph List Printf Routine String

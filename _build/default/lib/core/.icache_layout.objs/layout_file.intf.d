@@ -1,0 +1,1 @@
+lib/core/layout_file.mli: Address_map Graph

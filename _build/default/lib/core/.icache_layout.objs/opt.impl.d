@@ -1,0 +1,1 @@
+lib/core/opt.ml: Address_map App_model Array Block Fun Graph List Loops Loopstat Model Profile Scf Schedule Sequence

@@ -1,0 +1,1 @@
+lib/core/opt.mli: Address_map App_model Block Graph Loops Model Profile Schedule Sequence Service

@@ -1,0 +1,1 @@
+lib/core/pettis_hansen.ml: Address_map Arc Array Block Graph Hashtbl List Option Profile Routine

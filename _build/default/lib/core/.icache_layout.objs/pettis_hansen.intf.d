@@ -1,0 +1,1 @@
+lib/core/pettis_hansen.mli: Address_map Block Graph Profile Routine

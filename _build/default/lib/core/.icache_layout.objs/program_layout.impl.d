@@ -1,0 +1,1 @@
+lib/core/program_layout.ml: Address_map App_model Array Base Chang_hwu Loops Model Opt Program Replay

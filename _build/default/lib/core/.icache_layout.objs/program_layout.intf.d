@@ -1,0 +1,1 @@
+lib/core/program_layout.mli: Address_map Loops Model Opt Profile Program Replay

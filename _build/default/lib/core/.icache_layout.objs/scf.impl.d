@@ -1,0 +1,1 @@
+lib/core/scf.ml: Array Block Fun Graph List Popularity Profile

@@ -1,0 +1,1 @@
+lib/core/scf.mli: Block Graph Loops Profile

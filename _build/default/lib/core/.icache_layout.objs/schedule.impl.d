@@ -1,0 +1,1 @@
+lib/core/schedule.ml: Array List Service

@@ -1,0 +1,1 @@
+lib/core/sequence.ml: Arc Array Block Fun Graph List Profile Schedule

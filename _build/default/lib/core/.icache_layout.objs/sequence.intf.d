@@ -1,0 +1,1 @@
+lib/core/sequence.mli: Block Graph Profile Schedule Service

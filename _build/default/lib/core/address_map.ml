@@ -1,0 +1,77 @@
+type region = Main_seq | Self_conf_free | Loop_area | Other_seq | Cold
+
+let region_to_string = function
+  | Main_seq -> "MainSeq"
+  | Self_conf_free -> "SelfConfFree"
+  | Loop_area -> "Loops"
+  | Other_seq -> "OtherSeq"
+  | Cold -> "Cold"
+
+type t = {
+  graph : Graph.t;
+  addr : int array;
+  region : region array;
+  mutable extent : int;
+  mutable placed : int;
+}
+
+let create g =
+  {
+    graph = g;
+    addr = Array.make (Graph.block_count g) (-1);
+    region = Array.make (Graph.block_count g) Cold;
+    extent = 0;
+    placed = 0;
+  }
+
+let is_placed t b = t.addr.(b) >= 0
+
+let place t b ~addr ~region =
+  if addr < 0 then invalid_arg "Address_map.place: negative address";
+  if is_placed t b then invalid_arg "Address_map.place: block already placed";
+  t.addr.(b) <- addr;
+  t.region.(b) <- region;
+  t.placed <- t.placed + 1;
+  let hi = addr + (Graph.block t.graph b).Block.size in
+  if hi > t.extent then t.extent <- hi
+
+let addr t b =
+  if not (is_placed t b) then invalid_arg "Address_map.addr: block not placed";
+  t.addr.(b)
+
+let region t b = t.region.(b)
+
+let extent t = t.extent
+
+let placed_count t = t.placed
+
+let graph t = t.graph
+
+let blocks_by_addr t =
+  let blocks =
+    Array.of_seq
+      (Seq.filter (is_placed t) (Seq.init (Graph.block_count t.graph) Fun.id))
+  in
+  Array.sort (fun a b -> compare t.addr.(a) t.addr.(b)) blocks;
+  blocks
+
+let validate t =
+  let n = Graph.block_count t.graph in
+  if t.placed <> n then
+    failwith (Printf.sprintf "Address_map: %d of %d blocks placed" t.placed n);
+  let order = blocks_by_addr t in
+  Array.iteri
+    (fun i b ->
+      if i > 0 then begin
+        let prev = order.(i - 1) in
+        let prev_end = t.addr.(prev) + (Graph.block t.graph prev).Block.size in
+        if t.addr.(b) < prev_end then
+          failwith
+            (Printf.sprintf "Address_map: blocks %d and %d overlap at %d" prev b t.addr.(b))
+      end)
+    order
+
+let addr_array t = Array.copy t.addr
+
+let bytes_array t =
+  Array.init (Graph.block_count t.graph) (fun b -> (Graph.block t.graph b).Block.size)

@@ -1,0 +1,44 @@
+(** A code placement: the assignment of every basic block of one image to
+    a byte address, with the region taxonomy used by the paper's Figure 13
+    analysis. *)
+
+type region =
+  | Main_seq  (** Sequences built with ExecThresh >= 0.01%. *)
+  | Self_conf_free  (** The protected hottest-blocks area. *)
+  | Loop_area  (** Loop blocks extracted by OptL. *)
+  | Other_seq  (** Remaining sequences. *)
+  | Cold  (** Never/rarely executed filler. *)
+
+val region_to_string : region -> string
+
+type t
+
+val create : Graph.t -> t
+
+val place : t -> Block.id -> addr:int -> region:region -> unit
+(** @raise Invalid_argument if the block is already placed or the address
+    is negative. *)
+
+val is_placed : t -> Block.id -> bool
+val addr : t -> Block.id -> int
+(** @raise Invalid_argument if not placed. *)
+
+val region : t -> Block.id -> region
+val extent : t -> int
+(** One past the highest placed byte. *)
+
+val placed_count : t -> int
+val graph : t -> Graph.t
+
+val validate : t -> unit
+(** Check completeness (every block placed) and non-overlap.
+    @raise Failure with a diagnostic otherwise. *)
+
+val addr_array : t -> int array
+(** Block id -> address (for cache replay). *)
+
+val bytes_array : t -> int array
+(** Block id -> size. *)
+
+val blocks_by_addr : t -> Block.id array
+(** All placed blocks sorted by address. *)

@@ -1,0 +1,7 @@
+(** The Base layout: routines concatenated in link order, blocks in their
+    original text order (hot code interleaved with the special-case code it
+    branches around). *)
+
+val layout : Graph.t -> order:Routine.id array -> Address_map.t
+(** @raise Invalid_argument if [order] is not a permutation of the
+    routines. *)

@@ -1,0 +1,20 @@
+(** The comparison algorithm ("C-H"): Hwu and Chang's profile-guided code
+    placement (ISCA 1989), as the paper describes it in Sections 1 and 4:
+
+    - within each routine, basic blocks that tend to execute in sequence
+      are grouped by greedy trace selection and placed contiguously
+      (executed traces first, unexecuted code last);
+    - routines are ordered so that frequent callees follow immediately
+      after their callers (greedy chain merging on the weighted call
+      graph).
+
+    Unlike the paper's own algorithm, C-H never interleaves a callee's
+    blocks between blocks of the caller. *)
+
+val intra_routine_order : Graph.t -> Profile.t -> Routine.t -> Block.id list
+(** Trace-selected block order for one routine (exposed for testing). *)
+
+val routine_order : Graph.t -> Profile.t -> Routine.id list
+(** Caller/callee chained routine order, most popular chains first. *)
+
+val layout : Graph.t -> Profile.t -> Address_map.t

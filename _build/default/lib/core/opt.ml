@@ -1,0 +1,190 @@
+type params = {
+  cache_size : int;
+  scf_cutoff : float option;
+  extract_loops : bool;
+  min_loop_iterations : float;
+  start_offset : int;
+  scf_holes : bool;
+}
+
+let params ?(cache_size = 8192) ?(scf_cutoff = Some 0.5) ?(extract_loops = false)
+    ?(scf_holes = true) () =
+  {
+    cache_size;
+    scf_cutoff;
+    extract_loops;
+    min_loop_iterations = 6.0;
+    start_offset = 0;
+    scf_holes;
+  }
+
+type result = {
+  map : Address_map.t;
+  sequences : Sequence.t list;
+  scf_blocks : Block.id list;
+  scf_bytes : int;
+  loop_blocks : Block.id list;
+}
+
+(* Cursor over memory organized as logical caches of size [cache] whose
+   lowest [hole] bytes (beyond the first logical cache) are reserved.
+   Records the holes it skips so they can be filled with cold code. *)
+type cursor = {
+  cache : int;
+  hole : int;
+  mutable at : int;
+  mutable holes : (int * int) list;  (* (start, size), reverse order *)
+}
+
+let cursor ~cache ~hole ~start = { cache; hole; at = start; holes = [] }
+
+let rec fit c size =
+  let off = c.at mod c.cache in
+  if c.hole > 0 && c.at >= c.cache && off < c.hole then begin
+    (* Entering a reserved hole: skip it, remembering the span. *)
+    let start = c.at - off in
+    if not (List.mem_assoc start c.holes) then c.holes <- (start, c.hole) :: c.holes;
+    c.at <- start + c.hole;
+    fit c size
+  end
+  else if c.hole > 0 && off + size > c.cache then begin
+    (* Block would run into the next logical cache's hole. *)
+    c.at <- c.at - off + c.cache;
+    fit c size
+  end
+  else begin
+    let addr = c.at in
+    c.at <- addr + size;
+    addr
+  end
+
+let layout ~graph:g ~profile:p ~loops ~seed_entry ~schedule ?(exclude = fun _ -> false)
+    ?(follow_calls = true) params =
+  let sequences = Sequence.build ~graph:g ~profile:p ~seed_entry ~schedule ~follow_calls () in
+  let scf_blocks, scf_bytes =
+    match params.scf_cutoff with
+    | None -> ([], 0)
+    | Some cutoff ->
+        let blocks =
+          List.filter
+            (fun b -> not (exclude b))
+            (Scf.select ~graph:g ~profile:p ~loops ~cutoff)
+        in
+        (blocks, Scf.bytes g blocks)
+  in
+  let in_scf = Array.make (Graph.block_count g) false in
+  List.iter (fun b -> in_scf.(b) <- true) scf_blocks;
+  (* Loop extraction: mark qualifying loops' bodies. *)
+  let in_loop_area = Array.make (Graph.block_count g) false in
+  if params.extract_loops then begin
+    let infos = Loopstat.analyze g p loops in
+    List.iter
+      (fun (i : Loopstat.info) ->
+        if i.Loopstat.iterations_per_invocation >= params.min_loop_iterations then
+          Array.iter
+            (fun b -> if not in_scf.(b) && not (exclude b) then in_loop_area.(b) <- true)
+            i.Loopstat.loop.Loops.body)
+      infos
+  end;
+  let map = Address_map.create g in
+  (* 1. SelfConfFree area at the bottom of the first logical cache. *)
+  let scf_cursor = ref params.start_offset in
+  List.iter
+    (fun b ->
+      Address_map.place map b ~addr:!scf_cursor ~region:Address_map.Self_conf_free;
+      scf_cursor := !scf_cursor + (Graph.block g b).Block.size)
+    scf_blocks;
+  (* 2. Sequences, skipping later logical caches' SelfConfFree holes. *)
+  let hole = if params.scf_holes then scf_bytes else 0 in
+  let cur =
+    cursor ~cache:params.cache_size ~hole ~start:(params.start_offset + scf_bytes)
+  in
+  let loop_order = ref [] in
+  List.iter
+    (fun (s : Sequence.t) ->
+      let region =
+        if s.Sequence.pass.Schedule.exec_thresh >= Schedule.main_seq_exec_thresh then
+          Address_map.Main_seq
+        else Address_map.Other_seq
+      in
+      Array.iter
+        (fun b ->
+          if exclude b || in_scf.(b) then ()
+          else if in_loop_area.(b) then loop_order := b :: !loop_order
+          else begin
+            let size = (Graph.block g b).Block.size in
+            Address_map.place map b ~addr:(fit cur size) ~region
+          end)
+        s.Sequence.blocks)
+    sequences;
+  (* 3. Loop area at the end of the sequences, same internal order. *)
+  let loop_blocks = List.rev !loop_order in
+  List.iter
+    (fun b ->
+      let size = (Graph.block g b).Block.size in
+      Address_map.place map b ~addr:(fit cur size) ~region:Address_map.Loop_area)
+    loop_blocks;
+  (* 4. Cold filler: coldest blocks first into the reserved holes, the
+     rest after the end. *)
+  let unplaced =
+    List.filter
+      (fun b -> (not (Address_map.is_placed map b)) && not (exclude b))
+      (List.init (Graph.block_count g) Fun.id)
+  in
+  let coldest =
+    List.sort
+      (fun a b -> compare (p.Profile.block.(a), a) (p.Profile.block.(b), b))
+      unplaced
+  in
+  let holes = ref (List.rev_map (fun (start, size) -> (start, size)) cur.holes) in
+  let place_cold b =
+    let size = (Graph.block g b).Block.size in
+    let rec try_holes acc = function
+      | [] ->
+          holes := List.rev acc;
+          Address_map.place map b ~addr:(fit cur size) ~region:Address_map.Cold
+      | (start, avail) :: rest when avail >= size ->
+          Address_map.place map b ~addr:start ~region:Address_map.Cold;
+          let remaining = (start + size, avail - size) in
+          holes := List.rev_append acc (remaining :: rest)
+      | hole :: rest -> try_holes (hole :: acc) rest
+    in
+    try_holes [] !holes
+  in
+  List.iter place_cold coldest;
+  { map; sequences; scf_blocks; scf_bytes; loop_blocks }
+
+let os_layout ?(schedule = Schedule.paper) ?(follow_calls = true) ~model ~profile ~loops
+    params =
+  let seed_entry c = (Model.seed_for model c).Model.entry in
+  let r =
+    layout ~graph:model.Model.graph ~profile ~loops ~seed_entry ~schedule ~follow_calls
+      params
+  in
+  Address_map.validate r.map;
+  r
+
+let app_schedule =
+  Schedule.uniform ~levels:[ (1e-3, 0.4); (1e-4, 0.1); (1e-7, 0.01); (0.0, 0.0) ]
+
+let app_layout ~app ~profile ?stagger:(k = 0) ?(addr_skew = 0) params =
+  let g = app.App_model.graph in
+  let loops = Loops.find g in
+  let entry = Graph.entry_of g app.App_model.main in
+  (* Distinct images are staggered within the cache so two compact
+     optimized applications time-sharing the processor do not overlap
+     set-for-set.  [addr_skew] is the image's load-address offset modulo
+     the cache: the start offset compensates for it so the sequences'
+     {e effective} cache position is the intended opposite-side slot. *)
+  let c = params.cache_size in
+  let target = (c / 2) + (k * c / 4 mod (c / 2)) in
+  let start = ((target - addr_skew) mod c + c) mod c in
+  let params =
+    { params with scf_cutoff = None; extract_loops = true; start_offset = start }
+  in
+  let r =
+    layout ~graph:g ~profile ~loops ~seed_entry:(fun _ -> entry) ~schedule:app_schedule
+      params
+  in
+  Address_map.validate r.map;
+  r

@@ -1,0 +1,74 @@
+(** Assembly of the paper's optimized layouts (Figure 10):
+
+    - the SelfConfFree area occupies the lowest [scf] bytes of the first
+      logical cache, holding the hottest loop-adjusted blocks;
+    - sequences fill the remaining space, never overlapping the
+      SelfConfFree offsets of any logical cache (those holes are later
+      filled with seldom-executed code);
+    - with [extract_loops] (OptL), loop bodies with enough iterations are
+      pulled out of the sequences into a contiguous loop area at their
+      end;
+    - everything left over (unexecuted special-case code) fills the holes
+      and the tail of memory.
+
+    The same machinery lays out applications (OptA): no SelfConfFree area,
+    the routine [main] as the only seed, and a non-zero [start_offset] so
+    application sequences begin on the opposite side of the cache from the
+    OS's hot code. *)
+
+type params = {
+  cache_size : int;  (** Logical-cache granularity. *)
+  scf_cutoff : float option;
+      (** Loop-adjusted execution-fraction cut-off for the SelfConfFree
+          area; [None] disables the area. *)
+  extract_loops : bool;  (** OptL. *)
+  min_loop_iterations : float;  (** Loops below this stay in sequences. *)
+  start_offset : int;  (** First byte used for sequences (app side). *)
+  scf_holes : bool;
+      (** Reserve the SelfConfFree offsets of every logical cache (the
+          normal OptS layout).  The Resv organization disables the holes:
+          the hottest blocks still lead the layout (they live in the small
+          reserved cache) but memory is packed densely. *)
+}
+
+val params :
+  ?cache_size:int -> ?scf_cutoff:float option -> ?extract_loops:bool ->
+  ?scf_holes:bool -> unit -> params
+(** Paper defaults: 8 KB logical caches, a cut-off giving the paper's
+    ~1 KB SelfConfFree area (0.5 loop-adjusted executions per
+    invocation), no loop extraction, 6-iteration minimum, offset 0. *)
+
+type result = {
+  map : Address_map.t;
+  sequences : Sequence.t list;
+  scf_blocks : Block.id list;
+  scf_bytes : int;
+  loop_blocks : Block.id list;
+}
+
+val layout :
+  graph:Graph.t -> profile:Profile.t -> loops:Loops.t list ->
+  seed_entry:(Service.t -> Block.id) -> schedule:Schedule.pass list ->
+  ?exclude:(Block.id -> bool) -> ?follow_calls:bool ->
+  params -> result
+(** [exclude] removes blocks from sequence placement entirely (used by the
+    Section 4.4 "Call" optimization, which places them itself; excluded
+    blocks must be placed into the returned map by the caller before
+    validation). *)
+
+val os_layout :
+  ?schedule:Schedule.pass list -> ?follow_calls:bool ->
+  model:Model.t -> profile:Profile.t -> loops:Loops.t list -> params -> result
+(** OptS/OptL for the kernel: seeds from the model, Table 4 schedule by
+    default.  [schedule] and [follow_calls] exist for the ablation studies
+    (flat schedules, fewer seeds, no caller/callee interleaving). *)
+
+val app_layout :
+  app:App_model.t -> profile:Profile.t -> ?stagger:int -> ?addr_skew:int ->
+  params -> result
+(** Application-side layout for OptA ([main] as seed, loop extraction on,
+    sequences starting at [cache_size / 2], shifted by [stagger] quarter
+    caches so co-scheduled images do not collide set-for-set).
+    [addr_skew] is the image's load-address offset modulo the cache size;
+    the start offset compensates so the effective cache position is the
+    intended one. *)

@@ -1,0 +1,28 @@
+(** Pettis-Hansen profile-guided code positioning (PLDI 1990).
+
+    Not part of the paper's evaluation (it compares against Hwu-Chang),
+    but the natural second baseline: P-H is the immediate successor of
+    C-H and the direct ancestor of today's BOLT/Propeller layouts.
+
+    - {e Procedure ordering}: chains over the undirected, call-count
+      weighted call graph, merged heaviest edge first with the
+      "closest is best" rule (the four end-to-end orientations of the two
+      chains are tried, keeping the one that places the edge's endpoints
+      nearest each other).
+    - {e Basic-block ordering}: bottom-up chaining along the heaviest
+      executed arcs (a chain only grows tail-to-head, preserving
+      fall-through), entry chain first, remaining chains by weight,
+      never-executed blocks last. *)
+
+val chain_order : n:int -> edges:(int * int * float) list -> int list
+(** The generic closest-is-best chain merge over [n] elements (exposed
+    for testing).  Returns a permutation of [0..n-1]. *)
+
+val routine_order : Graph.t -> Profile.t -> Routine.id list
+(** Permutation of all routines. *)
+
+val intra_routine_order : Graph.t -> Profile.t -> Routine.t -> Block.id list
+(** Permutation of the routine's blocks, entry chain first. *)
+
+val layout : Graph.t -> Profile.t -> Address_map.t
+(** Whole-image placement; validated. *)

@@ -1,0 +1,92 @@
+type t = {
+  name : string;
+  os_map : Address_map.t;
+  app_maps : Address_map.t array;
+  os_meta : Opt.result option;
+}
+
+let app_region_base = 1 lsl 24
+
+let app_region_stride = 1 lsl 23
+
+(* Per-image load-address skew: application text segments start past
+   headers at distinct bases, so an application is not systematically
+   aligned with cache set 0 (where the OS hot area lives).  Line-aligned
+   but not a divisor of any simulated cache size. *)
+let app_skew k = (k + 1) * 1184
+
+(* Loop detection over the 40k-block kernel graph is not free; memoize per
+   model (keyed physically). *)
+let loops_cache : (Model.t * Loops.t list) option ref = ref None
+
+let os_loops model =
+  match !loops_cache with
+  | Some (m, l) when m == model -> l
+  | Some _ | None ->
+      let l = Loops.find model.Model.graph in
+      loops_cache := Some (model, l);
+      l
+
+let base_apps program =
+  Array.map
+    (fun (app : App_model.t) ->
+      Base.layout app.App_model.graph ~order:app.App_model.base_order)
+    program.Program.apps
+
+let base ~model ~program =
+  {
+    name = "Base";
+    os_map = Base.layout model.Model.graph ~order:model.Model.base_order;
+    app_maps = base_apps program;
+    os_meta = None;
+  }
+
+let chang_hwu ~model ~program ~os_profile =
+  {
+    name = "C-H";
+    os_map = Chang_hwu.layout model.Model.graph os_profile;
+    app_maps = base_apps program;
+    os_meta = None;
+  }
+
+let opt_with ~name ~extract_loops ~model ~program ~os_profile ~params =
+  let params = { params with Opt.extract_loops } in
+  let r = Opt.os_layout ~model ~profile:os_profile ~loops:(os_loops model) params in
+  { name; os_map = r.Opt.map; app_maps = base_apps program; os_meta = Some r }
+
+let opt_s ~model ~program ~os_profile ?(params = Opt.params ()) () =
+  opt_with ~name:"OptS" ~extract_loops:false ~model ~program ~os_profile ~params
+
+let opt_l ~model ~program ~os_profile ?(params = Opt.params ()) () =
+  opt_with ~name:"OptL" ~extract_loops:true ~model ~program ~os_profile ~params
+
+let opt_a ~model ~program ~os_profile ~app_profiles ?(params = Opt.params ()) () =
+  let os = opt_with ~name:"OptA" ~extract_loops:false ~model ~program ~os_profile ~params in
+  let app_maps =
+    Array.mapi
+      (fun k (app : App_model.t) ->
+        let r =
+          Opt.app_layout ~app ~profile:app_profiles.(k) ~stagger:k
+            ~addr_skew:(app_skew k mod params.Opt.cache_size)
+            params
+        in
+        r.Opt.map)
+      program.Program.apps
+  in
+  { os with app_maps }
+
+let with_os_map t ~name os_map ~os_meta = { t with name; os_map; os_meta }
+
+let code_map t =
+  let images = 1 + Array.length t.app_maps in
+  let addr = Array.make images [||] in
+  let bytes = Array.make images [||] in
+  addr.(0) <- Address_map.addr_array t.os_map;
+  bytes.(0) <- Address_map.bytes_array t.os_map;
+  Array.iteri
+    (fun k m ->
+      let b = app_region_base + (k * app_region_stride) + app_skew k in
+      addr.(k + 1) <- Array.map (fun a -> a + b) (Address_map.addr_array m);
+      bytes.(k + 1) <- Address_map.bytes_array m)
+    t.app_maps;
+  { Replay.addr; bytes }

@@ -1,0 +1,53 @@
+(** Whole-program placements: one {!Address_map.t} for the OS image and one
+    per application image, combinable into a {!Replay.code_map} for cache
+    simulation.
+
+    The evaluation's layout levels (Section 5):
+    - [base]: original link order for OS and applications;
+    - [chang_hwu]: C-H layout for the OS, applications unchanged;
+    - [opt_s]: sequences + SelfConfFree area, no loop extraction;
+    - [opt_l]: [opt_s] plus loop extraction;
+    - [opt_a]: [opt_s] for the OS plus optimized application layouts
+      (sequences + loop extraction, placed from the opposite cache side). *)
+
+type t = {
+  name : string;
+  os_map : Address_map.t;
+  app_maps : Address_map.t array;
+  os_meta : Opt.result option;  (** Sequence/SCF/loop metadata when built
+                                    by the Opt machinery. *)
+}
+
+val app_region_base : int
+(** Byte address where application image 1 begins (a multiple of every
+    simulated cache size, so cache indexing of applications is unaffected
+    by the offset). *)
+
+val app_region_stride : int
+
+val base : model:Model.t -> program:Program.t -> t
+
+val chang_hwu : model:Model.t -> program:Program.t -> os_profile:Profile.t -> t
+
+val opt_s :
+  model:Model.t -> program:Program.t -> os_profile:Profile.t ->
+  ?params:Opt.params -> unit -> t
+
+val opt_l :
+  model:Model.t -> program:Program.t -> os_profile:Profile.t ->
+  ?params:Opt.params -> unit -> t
+
+val opt_a :
+  model:Model.t -> program:Program.t -> os_profile:Profile.t ->
+  app_profiles:Profile.t array -> ?params:Opt.params -> unit -> t
+(** [app_profiles.(k)] profiles application image [k+1]. *)
+
+val with_os_map : t -> name:string -> Address_map.t -> os_meta:Opt.result option -> t
+(** Replace the OS placement (used by the Call/Resv variants). *)
+
+val code_map : t -> Replay.code_map
+(** Absolute addresses: OS at 0, application image [k] at
+    [app_region_base + (k-1) * app_region_stride]. *)
+
+val os_loops : Model.t -> Loops.t list
+(** Natural loops of the kernel graph (memoized per model). *)

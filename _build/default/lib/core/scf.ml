@@ -1,0 +1,26 @@
+let select ~graph:g ~profile:p ~loops ~cutoff =
+  let factors = Popularity.deloop_factors g p loops in
+  let adjusted =
+    Array.init (Graph.block_count g) (fun b -> p.Profile.block.(b) /. factors.(b))
+  in
+  (* The paper's cut-offs (3/2/1% in Figure 16) are fractions of the
+     number of OS invocations: a block qualifies when its loop-adjusted
+     execution count reaches [cutoff] executions per invocation.  Profiles
+     carrying no invocation count (applications, hand-built test profiles)
+     fall back to fractions of the total block-execution weight. *)
+  let base =
+    if p.Profile.invocations > 0.0 then p.Profile.invocations
+    else Array.fold_left ( +. ) 0.0 adjusted
+  in
+  if base <= 0.0 then []
+  else begin
+    let hot =
+      List.filter
+        (fun b -> adjusted.(b) /. base >= cutoff)
+        (List.init (Graph.block_count g) Fun.id)
+    in
+    List.sort (fun a b -> compare adjusted.(b) adjusted.(a)) hot
+  end
+
+let bytes g blocks =
+  List.fold_left (fun acc b -> acc + (Graph.block g b).Block.size) 0 blocks

@@ -1,0 +1,14 @@
+(** SelfConfFree selection (Section 4.2): the most frequently executed
+    basic blocks, with loop iterations discounted (loops are optimized
+    separately, so a block inside a loop is counted as if the loop ran one
+    iteration per invocation). *)
+
+val select :
+  graph:Graph.t -> profile:Profile.t -> loops:Loops.t list -> cutoff:float ->
+  Block.id list
+(** Blocks whose loop-adjusted executions per OS invocation reach
+    [cutoff] (falling back to the fraction of total block weight when the
+    profile has no invocation count)
+    (e.g. 0.02 for the paper's 2.0% layout), most popular first. *)
+
+val bytes : Graph.t -> Block.id list -> int

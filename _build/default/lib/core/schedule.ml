@@ -1,0 +1,45 @@
+type pass = { service : Service.t; exec_thresh : float; branch_thresh : float }
+
+let main_seq_exec_thresh = 1e-4
+
+(* Table 4: rows are ExecThresh levels 1.4%, 0.5%, 0.1%, 0.01%, 1e-5 %, 0;
+   the BranchThresh for each seed joining at each level.  "=" cells (seed
+   not yet processed) are simply absent. *)
+let paper =
+  let p service exec_thresh branch_thresh = { service; exec_thresh; branch_thresh } in
+  [
+    p Service.Interrupt 1.4e-2 0.4;
+    p Service.Interrupt 5e-3 0.1;
+    p Service.Page_fault 5e-3 0.4;
+    p Service.Interrupt 1e-3 0.01;
+    p Service.Page_fault 1e-3 0.1;
+    p Service.Syscall 1e-3 0.4;
+    p Service.Interrupt 1e-4 0.01;
+    p Service.Page_fault 1e-4 0.01;
+    p Service.Syscall 1e-4 0.1;
+    p Service.Other 1e-4 0.4;
+    p Service.Interrupt 1e-7 0.001;
+    p Service.Page_fault 1e-7 0.01;
+    p Service.Syscall 1e-7 0.01;
+    p Service.Other 1e-7 0.1;
+    p Service.Interrupt 0.0 0.0;
+    p Service.Page_fault 0.0 0.0;
+    p Service.Syscall 0.0 0.0;
+    p Service.Other 0.0 0.0;
+  ]
+
+(* Ablation: a single exhaustive pass per seed, no threshold descent. *)
+let flat =
+  Array.to_list
+    (Array.map
+       (fun service -> { service; exec_thresh = 0.0; branch_thresh = 0.0 })
+       Service.all)
+
+let restrict services passes =
+  List.filter (fun p -> List.mem p.service services) passes
+
+let uniform ~levels =
+  List.map
+    (fun (exec_thresh, branch_thresh) ->
+      { service = Service.Interrupt; exec_thresh; branch_thresh })
+    levels

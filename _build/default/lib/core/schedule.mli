@@ -1,0 +1,32 @@
+(** The (ExecThresh, BranchThresh) schedule of Table 4.
+
+    Sequences are generated in passes of decreasing thresholds; the most
+    popular seed (interrupt) is processed from the highest threshold level,
+    the others join at lower levels, and every seed finishes with a (0, 0)
+    sweep that captures all remaining reachable code. *)
+
+type pass = {
+  service : Service.t;
+  exec_thresh : float;
+      (** Minimum block weight as a fraction of total block weight. *)
+  branch_thresh : float;  (** Minimum arc probability to follow. *)
+}
+
+val paper : pass list
+(** The passes of Table 4, in table order (rows top to bottom, seeds left
+    to right within a row). *)
+
+val main_seq_exec_thresh : float
+(** Blocks placed by passes with at least this ExecThresh are "MainSeq" in
+    the Figure 13 classification (0.01% = 1e-4). *)
+
+val flat : pass list
+(** Ablation schedule: one exhaustive (0, 0) pass per seed, no threshold
+    descent (so sequence popularity ordering is lost). *)
+
+val restrict : Service.t list -> pass list -> pass list
+(** Keep only the passes of the given seeds (ablation: fewer seeds). *)
+
+val uniform : levels:(float * float) list -> pass list
+(** A simple schedule applying the same threshold levels to every seed in
+    turn (used for application layouts, which have a single seed). *)

@@ -1,0 +1,1 @@
+lib/kernel_model/app_model.ml: Array Dist Graph List Names Prng Routine Routine_gen

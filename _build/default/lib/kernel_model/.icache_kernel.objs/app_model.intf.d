@@ -1,0 +1,1 @@
+lib/kernel_model/app_model.mli: Graph Routine

@@ -1,0 +1,1 @@
+lib/kernel_model/generator.ml: Arc Array Dist Graph Hashtbl List Model Names Option Prng Routine_gen Service Spec

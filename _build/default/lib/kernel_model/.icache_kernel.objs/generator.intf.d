@@ -1,0 +1,1 @@
+lib/kernel_model/generator.mli: Model Spec

@@ -1,0 +1,1 @@
+lib/kernel_model/model.ml: Arc Array Block Graph Routine Service

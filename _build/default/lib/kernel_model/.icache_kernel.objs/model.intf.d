@@ -1,0 +1,1 @@
+lib/kernel_model/model.mli: Arc Block Graph Routine Service

@@ -1,0 +1,1 @@
+lib/kernel_model/names.ml: Array Printf Service

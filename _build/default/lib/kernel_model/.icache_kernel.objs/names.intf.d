@@ -1,0 +1,1 @@
+lib/kernel_model/names.mli: Service

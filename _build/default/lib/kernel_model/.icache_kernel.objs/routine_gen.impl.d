@@ -1,0 +1,1 @@
+lib/kernel_model/routine_gen.ml: Arc Array Block Dist Float Graph List Prng Routine

@@ -1,0 +1,1 @@
+lib/kernel_model/routine_gen.mli: Arc Block Dist Graph Prng Routine

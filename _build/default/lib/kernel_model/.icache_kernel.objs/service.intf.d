@@ -1,0 +1,1 @@
+lib/kernel_model/service.mli:

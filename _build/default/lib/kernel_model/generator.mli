@@ -1,0 +1,11 @@
+(** Synthetic-kernel generation.
+
+    Builds a whole-program flow graph with the layered structure described
+    in DESIGN.md: tiny hot leaf utilities; two service layers with
+    Zipf-skewed callee popularity; per-class top-level handlers; four seed
+    routines (assembly-style prologue, dispatch, epilogue); and a large
+    population of rarely-executed special-case routines reachable only
+    through low-probability cold arcs. *)
+
+val generate : Spec.t -> Model.t
+(** Deterministic in [spec.seed]. *)

@@ -1,0 +1,23 @@
+type seed_info = { service : Service.t; routine : Routine.id; entry : Block.id }
+
+type dispatch = { block : Block.id; arcs : (Arc.id * int) array }
+
+type t = {
+  graph : Graph.t;
+  arc_prob : float array;
+  seeds : seed_info array;
+  dispatches : dispatch array;
+  handlers : Routine.id array array;
+  leaves : Routine.id array;
+  base_order : Routine.id array;
+}
+
+let seed_for t c = t.seeds.(Service.index c)
+
+let dispatch_for t c = t.dispatches.(Service.index c)
+
+let handler_count t c = Array.length t.handlers.(Service.index c)
+
+let is_dispatch_block t b = Array.exists (fun d -> d.block = b) t.dispatches
+
+let routine_name t r = (Graph.routine t.graph r).Routine.name

@@ -1,0 +1,79 @@
+(* The first leaf names mirror the hot utilities the paper singles out in
+   Section 3.2.3; later indices fall back to generated names. *)
+let named_leaves =
+  [|
+    "spin_lock"; "spin_unlock"; "timer_push_hrtime"; "timer_read_hrc";
+    "save_state"; "restore_state"; "tlb_invalidate"; "block_zero";
+    "mult_div_emul"; "block_copy"; "splx"; "cpu_id";
+  |]
+
+let leaf i =
+  if i < Array.length named_leaves then named_leaves.(i)
+  else Printf.sprintf "util_%02d" i
+
+let mid_stems =
+  [|
+    "vm_fault"; "pmap_enter"; "sched_pick"; "runq_insert"; "softclock";
+    "hardclock_body"; "copyin"; "copyout"; "namei"; "ufs_lookup"; "bread";
+    "brelse"; "getblk"; "bio_done"; "selwakeup"; "sleep_on"; "wakeup";
+    "fork_body"; "exit_body"; "exec_image"; "sig_deliver"; "pipe_io";
+    "sock_send"; "sock_recv"; "tty_input"; "tty_output"; "vm_pageout";
+    "swap_alloc"; "pte_update"; "cross_call_body"; "ipi_ack"; "proc_find";
+  |]
+
+let mid i =
+  if i < Array.length mid_stems then mid_stems.(i)
+  else Printf.sprintf "svc_%03d" i
+
+let sub_mid i = Printf.sprintf "sub_%03d" i
+
+let handler c i =
+  let stem =
+    match c with
+    | Service.Interrupt -> (
+        match i with
+        | 0 -> "clock_intr"
+        | 1 -> "xproc_intr"
+        | 2 -> "sync_intr"
+        | 3 -> "disk_intr"
+        | 4 -> "net_intr"
+        | _ -> Printf.sprintf "dev_intr_%d" i)
+    | Service.Page_fault -> (
+        match i with
+        | 0 -> "tlb_miss_fault"
+        | 1 -> "demand_zero_fault"
+        | 2 -> "cow_fault"
+        | 3 -> "file_page_fault"
+        | _ -> Printf.sprintf "fault_case_%d" i)
+    | Service.Syscall -> (
+        match i with
+        | 0 -> "sys_read"
+        | 1 -> "sys_write"
+        | 2 -> "sys_open"
+        | 3 -> "sys_close"
+        | 4 -> "sys_fork"
+        | 5 -> "sys_execve"
+        | 6 -> "sys_wait"
+        | 7 -> "sys_brk"
+        | 8 -> "sys_stat"
+        | 9 -> "sys_ioctl"
+        | _ -> Printf.sprintf "sys_misc_%d" i)
+    | Service.Other -> (
+        match i with
+        | 0 -> "context_switch"
+        | 1 -> "trap_misc"
+        | 2 -> "ast_handler"
+        | _ -> Printf.sprintf "other_case_%d" i)
+  in
+  stem
+
+let seed c =
+  match c with
+  | Service.Interrupt -> "intr_entry"
+  | Service.Page_fault -> "fault_entry"
+  | Service.Syscall -> "syscall_entry"
+  | Service.Other -> "trap_entry"
+
+let cold i = Printf.sprintf "rare_%04d" i
+
+let app name i = Printf.sprintf "%s_fn_%03d" name i

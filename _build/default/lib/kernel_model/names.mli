@@ -1,0 +1,15 @@
+(** Deterministic generation of plausible kernel / application routine
+    names, used only for reporting (e.g. the Figure 7 top-routine list). *)
+
+val leaf : int -> string
+(** Name for the [i]-th leaf utility routine.  The first few are the
+    paper's named hot utilities (lock handling, timer management, state
+    save/restore, TLB invalidation, block zeroing, multiply/divide
+    emulation). *)
+
+val mid : int -> string
+val sub_mid : int -> string
+val handler : Service.t -> int -> string
+val seed : Service.t -> string
+val cold : int -> string
+val app : string -> int -> string

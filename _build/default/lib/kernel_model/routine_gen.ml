@@ -1,0 +1,227 @@
+type sink = {
+  builder : Graph.builder;
+  prng : Prng.t;
+  mutable probs : (Arc.id * float) list;
+}
+
+let sink builder prng = { builder; prng; probs = [] }
+
+let set_arc_probability s arc p = s.probs <- (arc, p) :: s.probs
+
+let arc_probabilities s ~graph =
+  let n = Graph.arc_count graph in
+  let probs = Array.make n (-1.0) in
+  List.iter (fun (a, p) -> probs.(a) <- p) s.probs;
+  (* Default the rest: uniform share of the mass not claimed explicitly. *)
+  for b = 0 to Graph.block_count graph - 1 do
+    let arcs = Graph.out_arcs graph b in
+    let claimed = ref 0.0 and unclaimed = ref 0 in
+    Array.iter
+      (fun a -> if probs.(a) < 0.0 then incr unclaimed else claimed := !claimed +. probs.(a))
+      arcs;
+    if !unclaimed > 0 then begin
+      let share = Float.max 0.0 (1.0 -. !claimed) /. float_of_int !unclaimed in
+      Array.iter (fun a -> if probs.(a) < 0.0 then probs.(a) <- share) arcs
+    end
+  done;
+  probs
+
+type loop_shape = {
+  body_blocks : int;
+  mean_iterations : float;
+  loop_call : Routine.id option;
+}
+
+type shape = {
+  routine : Routine.id;
+  hot_len : int;
+  calls : (int * Routine.id) list;
+  loops : (int * loop_shape) list;
+  cold_detour_prob : float;
+  cold_len : Dist.t;
+  cold_call_pool : Routine.id array;
+  cold_call_prob : float;
+  cold_exit_prob : float;
+  cold_loop_prob : float;
+  hot_size : Dist.t;
+  cold_size : Dist.t;
+}
+
+(* Sizes are multiples of the 4-byte instruction word.  2..9 words uniform
+   gives a 22-byte mean, matching the paper's 21.3-byte average block. *)
+let hot_size_dist = Dist.scaled (Dist.uniform_int 2 9) 4.0
+
+(* Cold special-case code tends to be bulkier straight-line blocks. *)
+let cold_size_dist = Dist.scaled (Dist.uniform_int 3 13) 4.0
+
+let cold_take_probability g =
+  let exponent = -4.0 +. (Prng.unit_float g *. 3.2) in
+  Float.pow 10.0 exponent
+
+let default_shape ~routine =
+  {
+    routine;
+    hot_len = 8;
+    calls = [];
+    loops = [];
+    cold_detour_prob = 0.45;
+    cold_len = Dist.uniform_int 1 4;
+    cold_call_pool = [||];
+    cold_call_prob = 0.15;
+    cold_exit_prob = 0.3;
+    cold_loop_prob = 0.25;
+    hot_size = hot_size_dist;
+    cold_size = cold_size_dist;
+  }
+
+let validate shape =
+  if shape.hot_len < 1 then invalid_arg "Routine_gen.emit: hot_len < 1";
+  List.iter
+    (fun (i, l) ->
+      if i < 0 || i >= shape.hot_len - 1 then
+        invalid_arg "Routine_gen.emit: loop position out of range";
+      if l.body_blocks < 1 then invalid_arg "Routine_gen.emit: empty loop body";
+      if l.mean_iterations < 1.0 then
+        invalid_arg "Routine_gen.emit: mean_iterations < 1";
+      if List.mem_assoc i shape.calls then
+        invalid_arg "Routine_gen.emit: loop and call share a position")
+    shape.loops;
+  List.iter
+    (fun (i, _) ->
+      if i < 0 || i >= shape.hot_len then
+        invalid_arg "Routine_gen.emit: call position out of range")
+    shape.calls
+
+(* Plan of the cold detour hanging off one hot block.  [cold_loop] marks
+   a one- or two-block span of the chain that iterates: special-case code
+   scanning a table or retrying an operation.  These populate the
+   executed-loop census of Figures 4-5 without perturbing the hot paths;
+   when the span covers the chain's call block the loop is a (cold) loop
+   with procedure calls. *)
+type cold_loop = { at : int; body : int; iters : float }
+
+type cold_plan = {
+  chain : Block.id array;
+  exits_early : bool;
+  cold_loop : cold_loop option;
+}
+
+let emit s shape =
+  validate shape;
+  let g = s.prng in
+  let bld = s.builder in
+  let hot = Array.make shape.hot_len (-1) in
+  let loop_bodies = Array.make shape.hot_len [||] in
+  let colds = Array.make shape.hot_len None in
+  let add_block ~size ?call () =
+    Graph.add_block bld ~routine:shape.routine ~size:(max Block.word_bytes size) ?call ()
+  in
+  (* Pass 1: create blocks in text order. *)
+  for i = 0 to shape.hot_len - 1 do
+    let call = List.assoc_opt i shape.calls in
+    hot.(i) <- add_block ~size:(Dist.sample shape.hot_size g) ?call ();
+    (match List.assoc_opt i shape.loops with
+    | Some l ->
+        let body =
+          Array.init l.body_blocks (fun j ->
+              let call = if j = 0 then l.loop_call else None in
+              add_block ~size:(Dist.sample shape.hot_size g) ?call ())
+        in
+        loop_bodies.(i) <- body
+    | None ->
+        (* Cold detours only make sense where there is a join point and no
+           loop already occupies the position. *)
+        if i < shape.hot_len - 1 && Prng.bernoulli g shape.cold_detour_prob then begin
+          let len = max 1 (Dist.sample shape.cold_len g) in
+          let call_at =
+            if
+              Array.length shape.cold_call_pool > 0
+              && Prng.bernoulli g shape.cold_call_prob
+            then Some (Prng.int g len)
+            else None
+          in
+          let chain =
+            Array.init len (fun j ->
+                let call =
+                  match call_at with
+                  | Some k when k = j -> Some (Prng.choose g shape.cold_call_pool)
+                  | Some _ | None -> None
+                in
+                add_block ~size:(Dist.sample shape.cold_size g) ?call ())
+          in
+          let exits_early = Prng.bernoulli g shape.cold_exit_prob in
+          (* The loop latch must keep an arc to the rest of the chain: an
+             early-exiting chain's last block cannot be a latch (its only
+             arc would be the self-arc, and a lone arc is always taken).
+             Iterations over a call block are capped low so the cold-call
+             branching process stays subcritical. *)
+          let cold_loop =
+            if Prng.bernoulli g shape.cold_loop_prob then begin
+              let body = if len >= 2 && Prng.bernoulli g 0.4 then 2 else 1 in
+              let last_ok = if exits_early then len - 2 else len - 1 in
+              let max_at = last_ok - (body - 1) in
+              if max_at < 0 then None
+              else begin
+                let at = Prng.int g (max_at + 1) in
+                let covers_call =
+                  match call_at with
+                  | Some k -> k >= at && k < at + body
+                  | None -> false
+                in
+                let iters =
+                  if covers_call then float_of_int (2 + Prng.int g 2)
+                  else float_of_int (2 + Prng.int g 11)
+                in
+                Some { at; body; iters }
+              end
+            end
+            else None
+          in
+          colds.(i) <- Some { chain; exits_early; cold_loop }
+        end)
+  done;
+  (* Pass 2: arcs and probabilities. *)
+  let arc ~src ~dst kind p =
+    let a = Graph.add_arc bld ~src ~dst kind in
+    set_arc_probability s a p
+  in
+  for i = 0 to shape.hot_len - 2 do
+    let next = hot.(i + 1) in
+    match List.assoc_opt i shape.loops with
+    | Some l ->
+        let body = loop_bodies.(i) in
+        let n = Array.length body in
+        arc ~src:hot.(i) ~dst:body.(0) Arc.Fallthrough 1.0;
+        for j = 0 to n - 2 do
+          arc ~src:body.(j) ~dst:body.(j + 1) Arc.Fallthrough 1.0
+        done;
+        let q = 1.0 -. (1.0 /. l.mean_iterations) in
+        let latch = body.(n - 1) in
+        arc ~src:latch ~dst:hot.(i) Arc.Taken q;
+        arc ~src:latch ~dst:next Arc.Fallthrough (1.0 -. q)
+    | None -> (
+        match colds.(i) with
+        | None -> arc ~src:hot.(i) ~dst:next Arc.Fallthrough 1.0
+        | Some { chain; exits_early; cold_loop } ->
+            let pc = cold_take_probability g in
+            arc ~src:hot.(i) ~dst:next Arc.Taken (1.0 -. pc);
+            arc ~src:hot.(i) ~dst:chain.(0) Arc.Fallthrough pc;
+            let n = Array.length chain in
+            (* The latch block carries the back edge; its forward arc gets
+               the remaining probability mass. *)
+            let continue_prob j =
+              match cold_loop with
+              | Some { at; body; iters } when j = at + body - 1 ->
+                  let q = 1.0 -. (1.0 /. iters) in
+                  arc ~src:chain.(j) ~dst:chain.(at) Arc.Taken q;
+                  1.0 -. q
+              | Some _ | None -> 1.0
+            in
+            for j = 0 to n - 2 do
+              let p = continue_prob j in
+              arc ~src:chain.(j) ~dst:chain.(j + 1) Arc.Fallthrough p
+            done;
+            let p_last = continue_prob (n - 1) in
+            if not exits_early then arc ~src:chain.(n - 1) ~dst:next Arc.Taken p_last)
+  done;
+  hot

@@ -1,0 +1,20 @@
+type t = Interrupt | Page_fault | Syscall | Other
+
+let all = [| Interrupt; Page_fault; Syscall; Other |]
+
+let count = Array.length all
+
+let index = function Interrupt -> 0 | Page_fault -> 1 | Syscall -> 2 | Other -> 3
+
+let of_index = function
+  | 0 -> Interrupt
+  | 1 -> Page_fault
+  | 2 -> Syscall
+  | 3 -> Other
+  | i -> invalid_arg (Printf.sprintf "Service.of_index: %d" i)
+
+let to_string = function
+  | Interrupt -> "Interrupt"
+  | Page_fault -> "PageFault"
+  | Syscall -> "SysCall"
+  | Other -> "Other"

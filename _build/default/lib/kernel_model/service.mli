@@ -1,0 +1,15 @@
+(** The four operating-system invocation classes of the paper (Section 3.2):
+    each is also a layout {e seed} for sequence construction (Section 4.1). *)
+
+type t = Interrupt | Page_fault | Syscall | Other
+
+val all : t array
+(** In paper order: interrupt, page fault, syscall, other. *)
+
+val count : int
+
+val index : t -> int
+val of_index : int -> t
+(** @raise Invalid_argument if out of range. *)
+
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/metrics/missmap.ml: Array List

@@ -1,0 +1,25 @@
+let by_address ~positions ~sizes ~misses ~bin =
+  if bin <= 0 then invalid_arg "Missmap.by_address: bin must be positive";
+  let extent =
+    Array.fold_left max 0
+      (Array.mapi (fun b pos -> pos + sizes.(b)) positions)
+  in
+  let bins = Array.make ((extent / bin) + 1) 0 in
+  Array.iteri
+    (fun b m -> if m > 0 then bins.(positions.(b) / bin) <- bins.(positions.(b) / bin) + m)
+    misses;
+  bins
+
+let peaks bins ~n =
+  let indexed = Array.mapi (fun i c -> (i, c)) bins in
+  Array.sort (fun (_, a) (_, b) -> compare b a) indexed;
+  Array.to_list (Array.sub indexed 0 (min n (Array.length indexed)))
+
+let peak_fraction bins ~n =
+  let total = Array.fold_left ( + ) 0 bins in
+  if total = 0 then 0.0
+  else begin
+    let top = peaks bins ~n in
+    let in_peaks = List.fold_left (fun acc (_, c) -> acc + c) 0 top in
+    float_of_int in_peaks /. float_of_int total
+  end

@@ -1,0 +1,18 @@
+(** Miss-address distributions (Figures 1 and 14): per-block miss counts
+    aggregated over address bins of a reference placement.  Figure 14 plots
+    every layout against the {e Base} addresses so peaks are comparable;
+    passing the Base map as [positions] reproduces that. *)
+
+val by_address :
+  positions:int array -> sizes:int array -> misses:int array -> bin:int ->
+  int array
+(** [by_address ~positions ~sizes ~misses ~bin] returns bin counts where
+    block [b]'s misses land in the bin of [positions.(b)].  [bin] is the
+    bin width in bytes (the paper uses 1 Kbyte). *)
+
+val peaks : int array -> n:int -> (int * int) list
+(** The [n] largest bins as (bin index, count), descending. *)
+
+val peak_fraction : int array -> n:int -> float
+(** Fraction of all misses contained in the [n] largest bins (the paper's
+    "peaks contain 21.3% ... of the misses"). *)

@@ -1,0 +1,15 @@
+let data_ref_ratio = 0.3
+
+let data_miss_rate = 0.05
+
+let penalties = [| 10; 30; 50 |]
+
+let cycles_per_instruction ~inst_miss_rate ~penalty =
+  let m = float_of_int penalty in
+  1.0 +. (inst_miss_rate *. m)
+  +. (data_ref_ratio *. (1.0 +. (data_miss_rate *. m)))
+
+let speed_increase ~base_miss_rate ~opt_miss_rate ~penalty =
+  let t_base = cycles_per_instruction ~inst_miss_rate:base_miss_rate ~penalty in
+  let t_opt = cycles_per_instruction ~inst_miss_rate:opt_miss_rate ~penalty in
+  100.0 *. ((t_base /. t_opt) -. 1.0)

@@ -1,0 +1,21 @@
+(** The paper's simple execution-time model (Section 5.2): references take
+    1 cycle; an instruction miss costs [penalty] extra cycles; data
+    references are 30% as numerous as instruction references and miss 5% of
+    the time; I/O slowdown is neglected. *)
+
+val data_ref_ratio : float
+(** 0.3. *)
+
+val data_miss_rate : float
+(** 0.05. *)
+
+val penalties : int array
+(** The paper's three miss penalties: 10, 30, 50 cycles. *)
+
+val cycles_per_instruction : inst_miss_rate:float -> penalty:int -> float
+(** Cycles per instruction reference under the model (including the
+    prorated data-access time). *)
+
+val speed_increase : base_miss_rate:float -> opt_miss_rate:float -> penalty:int -> float
+(** Percentage execution-speed increase of the optimized layout over the
+    base layout (Figure 15-(b)). *)

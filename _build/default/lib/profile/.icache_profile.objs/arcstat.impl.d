@@ -1,0 +1,1 @@
+lib/profile/arcstat.ml: Array Block Graph Profile

@@ -1,0 +1,1 @@
+lib/profile/arcstat.mli: Graph Profile

@@ -1,0 +1,1 @@
+lib/profile/loopstat.ml: Array Block Float Graph Hashtbl List Loops Profile Routine Stats

@@ -1,0 +1,1 @@
+lib/profile/loopstat.mli: Graph Hashtbl Loops Profile Routine

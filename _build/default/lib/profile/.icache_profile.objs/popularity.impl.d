@@ -1,0 +1,1 @@
+lib/profile/popularity.ml: Array Float Graph List Loops Loopstat Profile

@@ -1,0 +1,1 @@
+lib/profile/popularity.mli: Graph Loops Profile Routine

@@ -1,0 +1,1 @@
+lib/profile/profile.ml: Arc Array Block Engine Float Graph List Program Routine

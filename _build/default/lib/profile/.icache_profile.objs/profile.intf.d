@@ -1,0 +1,1 @@
+lib/profile/profile.mli: Arc Block Engine Graph Program Workload

@@ -1,0 +1,1 @@
+lib/profile/profile_file.ml: Array Buffer Fun Graph List Printf Profile String

@@ -1,0 +1,1 @@
+lib/profile/profile_file.mli: Graph Profile

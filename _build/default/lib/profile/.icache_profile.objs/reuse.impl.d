@@ -1,0 +1,1 @@
+lib/profile/reuse.ml: Array Block Graph Hashtbl Histogram List Program Trace

@@ -1,0 +1,1 @@
+lib/profile/reuse.mli: Graph Histogram Routine Trace

@@ -1,0 +1,43 @@
+let sorted_normalized values =
+  let arr = Array.of_list (List.filter (fun v -> v > 0.0) values) in
+  Array.sort (fun a b -> compare b a) arr;
+  let total = Array.fold_left ( +. ) 0.0 arr in
+  if total > 0.0 then Array.map (fun v -> v *. 100.0 /. total) arr else arr
+
+let routine_series p g =
+  let inv = Profile.routine_invocations p g in
+  sorted_normalized (Array.to_list inv)
+
+let top_routines p g ~n =
+  let inv = Profile.routine_invocations p g in
+  let pairs = Array.mapi (fun r c -> (r, c)) inv in
+  Array.sort (fun (_, a) (_, b) -> compare b a) pairs;
+  Array.to_list (Array.sub pairs 0 (min n (Array.length pairs)))
+
+let deloop_factors g p loops =
+  let factors = Array.make (Graph.block_count g) 1.0 in
+  (* Process loops from largest body to smallest so that the innermost
+     (smallest) loop's factor wins for shared blocks. *)
+  let infos = Loopstat.analyze g p loops in
+  let sorted =
+    List.sort
+      (fun (a : Loopstat.info) b ->
+        compare (Array.length b.loop.Loops.body) (Array.length a.loop.Loops.body))
+      infos
+  in
+  List.iter
+    (fun (i : Loopstat.info) ->
+      let f = Float.max 1.0 i.iterations_per_invocation in
+      Array.iter (fun b -> factors.(b) <- f) i.loop.Loops.body)
+    sorted;
+  factors
+
+let block_series_deloop p g loops =
+  let factors = deloop_factors g p loops in
+  let adjusted =
+    List.init (Graph.block_count g) (fun b -> p.Profile.block.(b) /. factors.(b))
+  in
+  sorted_normalized adjusted
+
+let count_above series ~threshold =
+  Array.fold_left (fun acc v -> if v > threshold then acc + 1 else acc) 0 series

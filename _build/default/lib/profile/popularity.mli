@@ -1,0 +1,24 @@
+(** Invocation-skew measurements: Figures 6 (routines) and 8 (basic blocks
+    with loop iterations discounted). *)
+
+val routine_series : Profile.t -> Graph.t -> float array
+(** Per-routine invocation counts, sorted descending and normalized to sum
+    to 100 (Figure 6).  Only routines invoked at least once appear. *)
+
+val top_routines : Profile.t -> Graph.t -> n:int -> (Routine.id * float) list
+(** The [n] most frequently invoked routines with their invocation counts,
+    descending. *)
+
+val deloop_factors : Graph.t -> Profile.t -> Loops.t list -> float array
+(** Per block: the iteration count of its innermost executed loop (1.0 for
+    blocks outside loops).  Dividing a block's count by its factor models
+    the paper's "assume loops only perform one iteration per
+    invocation". *)
+
+val block_series_deloop : Profile.t -> Graph.t -> Loops.t list -> float array
+(** Figure 8: executed blocks' loop-adjusted counts, sorted descending,
+    normalized to sum to 100. *)
+
+val count_above : float array -> threshold:float -> int
+(** How many entries of a normalized series exceed [threshold] (e.g. the
+    paper's "22 blocks are executed more than 3.0% of the total"). *)

@@ -1,0 +1,1 @@
+lib/study/context.ml: App_model Array Engine Generator List Model Option Profile Program Program_layout Spec Trace Workload

@@ -1,0 +1,1 @@
+lib/study/context.mli: App_model Engine Graph Loops Model Profile Program Spec Trace Workload

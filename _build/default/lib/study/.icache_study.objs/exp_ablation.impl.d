@@ -1,0 +1,1 @@
+lib/study/exp_ablation.ml: Array Config Context Counters Levels List Opt Program_layout Report Runner Schedule Service Stats System Table Workload

@@ -1,0 +1,1 @@
+lib/study/exp_ablation.mli: Context

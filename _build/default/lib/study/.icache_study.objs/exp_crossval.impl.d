@@ -1,0 +1,1 @@
+lib/study/exp_crossval.ml: Array Config Context Counters Opt Program_layout Report Runner Stats System Table Workload

@@ -1,0 +1,1 @@
+lib/study/exp_curve.ml: Array Config Context Counters Levels Program_layout Report Runner Stack_dist System Table Workload

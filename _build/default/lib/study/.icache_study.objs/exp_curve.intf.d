@@ -1,0 +1,1 @@
+lib/study/exp_curve.mli: Context

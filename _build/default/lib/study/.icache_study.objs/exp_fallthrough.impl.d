@@ -1,0 +1,1 @@
+lib/study/exp_fallthrough.ml: Array Context Levels List Program Program_layout Replay Report Stats Table Trace Workload

@@ -1,0 +1,1 @@
+lib/study/exp_fallthrough.mli: Context Replay Trace

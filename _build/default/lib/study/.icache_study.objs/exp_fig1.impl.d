@@ -1,0 +1,1 @@
+lib/study/exp_fig1.ml: Address_map Array Config Context Counters Graph Levels List Missmap Program Program_layout Replay Report Stats System Trace

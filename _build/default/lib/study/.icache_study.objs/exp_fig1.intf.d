@@ -1,0 +1,1 @@
+lib/study/exp_fig1.mli: Context

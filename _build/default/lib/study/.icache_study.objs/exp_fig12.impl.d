@@ -1,0 +1,1 @@
+lib/study/exp_fig12.ml: Array Config Context Counters Levels Report Runner Stats Table Workload

@@ -1,0 +1,1 @@
+lib/study/exp_fig12.mli: Context Levels

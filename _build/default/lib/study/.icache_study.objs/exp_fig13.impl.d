@@ -1,0 +1,1 @@
+lib/study/exp_fig13.ml: Address_map Array Block Config Context Graph Levels Profile Program_layout Report Runner Table Workload

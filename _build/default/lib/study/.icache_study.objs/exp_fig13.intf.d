@@ -1,0 +1,1 @@
+lib/study/exp_fig13.mli: Context Levels

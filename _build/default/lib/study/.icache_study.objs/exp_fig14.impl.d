@@ -1,0 +1,1 @@
+lib/study/exp_fig14.ml: Address_map Array Base Config Context Graph Levels Missmap Model Report Runner

@@ -1,0 +1,1 @@
+lib/study/exp_fig14.mli: Context Levels

@@ -1,0 +1,1 @@
+lib/study/exp_fig15.mli: Context

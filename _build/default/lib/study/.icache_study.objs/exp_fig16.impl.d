@@ -1,0 +1,1 @@
+lib/study/exp_fig16.ml: Array Config Context Counters Levels List Opt Printf Report Runner Scf Stats Table Workload

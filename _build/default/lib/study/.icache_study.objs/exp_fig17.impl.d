@@ -1,0 +1,1 @@
+lib/study/exp_fig17.ml: Array Config Context Counters Levels List Opt Printf Report Runner Stats Table Workload

@@ -1,0 +1,1 @@
+lib/study/exp_fig18.ml: Array Call_opt Config Context Counters Levels Opt Program_layout Report Runner Stats System Table Workload

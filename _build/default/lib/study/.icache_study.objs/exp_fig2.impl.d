@@ -1,0 +1,1 @@
+lib/study/exp_fig2.ml: Address_map Array Base Block Context Graph List Missmap Model Profile Report Stats Workload

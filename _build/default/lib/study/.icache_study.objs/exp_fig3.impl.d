@@ -1,0 +1,1 @@
+lib/study/exp_fig3.ml: Arcstat Array Chart Context List Printf Profile Report

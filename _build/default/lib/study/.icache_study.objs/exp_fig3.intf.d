@@ -1,0 +1,1 @@
+lib/study/exp_fig3.mli: Arcstat Context

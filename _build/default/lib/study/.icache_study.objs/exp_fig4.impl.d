@@ -1,0 +1,1 @@
+lib/study/exp_fig4.ml: Array Chart Context Histogram List Loopstat Profile Report Stats

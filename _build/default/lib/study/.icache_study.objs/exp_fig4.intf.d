@@ -1,0 +1,1 @@
+lib/study/exp_fig4.mli: Context

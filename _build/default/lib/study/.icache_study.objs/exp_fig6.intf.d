@@ -1,0 +1,1 @@
+lib/study/exp_fig6.mli: Context

@@ -1,0 +1,1 @@
+lib/study/exp_fig7.ml: Array Chart Context Histogram List Model Popularity Profile Report Reuse Stats String

@@ -1,0 +1,1 @@
+lib/study/exp_fig7.mli: Context

@@ -1,0 +1,1 @@
+lib/study/exp_fig8.mli: Context

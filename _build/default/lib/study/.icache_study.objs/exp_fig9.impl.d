@@ -1,0 +1,1 @@
+lib/study/exp_fig9.ml: Arc Array Graph Hashtbl List Printf Profile Report Schedule Sequence String

@@ -1,0 +1,1 @@
+lib/study/exp_inline.ml: Array Config Context Counters Engine Float Graph Inline Levels Loops Model Opt Option Profile Program_layout Replay Report Runner Stats System Table Trace Workload

@@ -1,0 +1,1 @@
+lib/study/exp_inline.mli: Context Inline

@@ -1,0 +1,1 @@
+lib/study/exp_mp.ml: Array Config Context Counters Levels Multiproc Program_layout Replay Report Stats System Table Trace Workload

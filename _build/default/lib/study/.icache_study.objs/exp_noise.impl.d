@@ -1,0 +1,1 @@
+lib/study/exp_noise.ml: Array Config Context Counters Float Opt Printf Prng Profile Program_layout Report Runner Stats System Table Workload

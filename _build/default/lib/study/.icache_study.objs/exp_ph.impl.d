@@ -1,0 +1,1 @@
+lib/study/exp_ph.ml: Array Base Chang_hwu Config Context Counters List Model Opt Pettis_hansen Program_layout Report Runner System Table Workload

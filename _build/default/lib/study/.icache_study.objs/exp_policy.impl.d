@@ -1,0 +1,1 @@
+lib/study/exp_policy.ml: Array Config Context Counters Levels Report Runner System Table Workload

@@ -1,0 +1,1 @@
+lib/study/exp_robust.ml: Array Config Context Counters Levels Report Runner Spec Stats System Table

@@ -1,0 +1,1 @@
+lib/study/exp_table1.ml: Array Context Engine Graph Profile Report Service Stats Table Workload

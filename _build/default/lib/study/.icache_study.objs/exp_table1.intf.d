@@ -1,0 +1,1 @@
+lib/study/exp_table1.mli: Context

@@ -1,0 +1,1 @@
+lib/study/exp_table2.ml: Array Config Context Levels Model Report Runner Schedule Seqstat Sequence Table Workload

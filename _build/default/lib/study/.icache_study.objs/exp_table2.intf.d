@@ -1,0 +1,1 @@
+lib/study/exp_table2.mli: Context Seqstat

@@ -1,0 +1,1 @@
+lib/study/exp_table3.mli: Context

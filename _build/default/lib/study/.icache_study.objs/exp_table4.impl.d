@@ -1,0 +1,1 @@
+lib/study/exp_table4.ml: Array Context List Model Printf Report Schedule Sequence Service Table

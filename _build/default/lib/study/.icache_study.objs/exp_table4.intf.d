@@ -1,0 +1,1 @@
+lib/study/exp_table4.mli: Context Service

@@ -1,0 +1,1 @@
+lib/study/exp_victim.ml: Array Config Context Counters Levels List Report Runner System Table Workload

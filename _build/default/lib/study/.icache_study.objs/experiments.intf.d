@@ -1,0 +1,1 @@
+lib/study/experiments.mli: Context

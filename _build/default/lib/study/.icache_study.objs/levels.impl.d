@@ -1,0 +1,1 @@
+lib/study/levels.ml: Array Context Opt Program Program_layout Workload

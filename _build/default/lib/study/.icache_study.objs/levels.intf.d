@@ -1,0 +1,1 @@
+lib/study/levels.mli: Context Opt Program_layout Replay

@@ -1,0 +1,1 @@
+lib/study/report.ml: Printf String

@@ -1,0 +1,1 @@
+lib/study/report.mli:

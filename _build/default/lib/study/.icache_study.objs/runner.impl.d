@@ -1,0 +1,1 @@
+lib/study/runner.ml: Array Context Counters Graph Program Program_layout Replay System Trace

@@ -1,0 +1,1 @@
+lib/study/runner.mli: Config Context Counters Program_layout System

@@ -1,0 +1,1 @@
+lib/study/seqstat.ml: Array Block Graph Hashtbl List Profile Program Sequence Stats Trace

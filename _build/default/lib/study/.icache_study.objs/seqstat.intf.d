@@ -1,0 +1,1 @@
+lib/study/seqstat.mli: Graph Profile Sequence Trace

@@ -1,0 +1,68 @@
+type t = {
+  model : Model.t;
+  pairs : (Workload.t * Program.t) array;
+  traces : Trace.t array;
+  stats : Engine.stats array;
+  os_profiles : Profile.t array;
+  app_profiles : Profile.t array array;
+  avg_os_profile : Profile.t;
+  avg_app_profile : App_model.t -> Profile.t;
+  words : int;
+}
+
+let create ?(spec = Spec.default) ?(words = 2_000_000) ?(seed = 11) () =
+  let model = Generator.generate spec in
+  let pairs = Workload.standard_programs model in
+  let n = Array.length pairs in
+  let traces = Array.make n (Trace.create ~capacity:16 ()) in
+  let stats = Array.make n None in
+  let os_profiles = Array.make n None in
+  let app_profiles = Array.make n [||] in
+  (* (app, profiles collected for it across workloads) *)
+  let app_accum : (App_model.t * Profile.t list ref) list ref = ref [] in
+  Array.iteri
+    (fun i (w, program) ->
+      let trace = Trace.create ~capacity:(words / 4) () in
+      let profiles, profile_sink = Profile.sinks ~program in
+      let sink = Engine.combine_sinks [ Engine.trace_sink trace; profile_sink ] in
+      let s = Engine.run ~program ~workload:w ~words ~seed:(seed + i) ~sink in
+      traces.(i) <- trace;
+      stats.(i) <- Some s;
+      os_profiles.(i) <- Some profiles.(0);
+      app_profiles.(i) <- Array.sub profiles 1 (Array.length profiles - 1);
+      Array.iteri
+        (fun k app ->
+          match List.find_opt (fun (a, _) -> a == app) !app_accum with
+          | Some (_, acc) -> acc := profiles.(k + 1) :: !acc
+          | None -> app_accum := (app, ref [ profiles.(k + 1) ]) :: !app_accum)
+        program.Program.apps)
+    pairs;
+  let os_profiles = Array.map Option.get os_profiles in
+  let avg_os_profile = Profile.average (Array.to_list os_profiles) in
+  let averaged_apps =
+    List.map (fun (app, acc) -> (app, Profile.average !acc)) !app_accum
+  in
+  let avg_app_profile app =
+    match List.find_opt (fun (a, _) -> a == app) averaged_apps with
+    | Some (_, p) -> p
+    | None -> invalid_arg "Context.avg_app_profile: unknown application"
+  in
+  {
+    model;
+    pairs;
+    traces;
+    stats = Array.map Option.get stats;
+    os_profiles;
+    app_profiles;
+    avg_os_profile;
+    avg_app_profile;
+    words;
+  }
+
+let workload_count t = Array.length t.pairs
+
+let workload_names t = Array.map (fun (w, _) -> w.Workload.name) t.pairs
+
+let os_graph t = t.model.Model.graph
+
+let os_loops t = Program_layout.os_loops t.model

@@ -1,0 +1,28 @@
+(** Shared experimental state: the generated kernel, the four workloads
+    with captured traces, and the per-workload and averaged profiles the
+    layouts are built from.  Building a context is the expensive step;
+    every experiment then reuses it. *)
+
+type t = {
+  model : Model.t;
+  pairs : (Workload.t * Program.t) array;  (** Paper order. *)
+  traces : Trace.t array;
+  stats : Engine.stats array;
+  os_profiles : Profile.t array;
+  app_profiles : Profile.t array array;
+      (** Per workload, indexed by app image - 1. *)
+  avg_os_profile : Profile.t;
+  avg_app_profile : App_model.t -> Profile.t;
+      (** Average profile of an application across the workloads running
+          it (physical identity of the app model). *)
+  words : int;
+}
+
+val create : ?spec:Spec.t -> ?words:int -> ?seed:int -> unit -> t
+(** Defaults: the calibrated kernel, 2 M instruction words per workload,
+    engine seed 11. *)
+
+val workload_count : t -> int
+val workload_names : t -> string array
+val os_graph : t -> Graph.t
+val os_loops : t -> Loops.t list

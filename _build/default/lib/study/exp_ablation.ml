@@ -1,0 +1,96 @@
+(* Ablation study: which ingredients of OptS matter?
+
+   Not a figure of the paper, but a direct test of the design arguments in
+   Sections 3-4: (a) the descending threshold schedule places popular
+   sequences next to equally popular ones; (b) four seeds expose the four
+   invocation classes' paths; (c) crossing routine boundaries (descending
+   into callees) is the main difference from Chang-Hwu; (d) the
+   SelfConfFree area protects the hottest blocks.  Each variant removes
+   one ingredient and is simulated on the paper's 8 KB direct-mapped
+   cache. *)
+
+type variant = {
+  name : string;
+  what : string;
+  misses : int;  (** Sum over the four workloads. *)
+  vs_base : float;
+  vs_opt_s : float;
+}
+
+let os_variant (ctx : Context.t) ?schedule ?follow_calls ?(params = Opt.params ()) name =
+  let model = ctx.Context.model in
+  let r =
+    Opt.os_layout ?schedule ?follow_calls ~model ~profile:ctx.Context.avg_os_profile
+      ~loops:(Context.os_loops ctx) params
+  in
+  let layouts =
+    Array.map
+      (fun ((_ : Workload.t), program) ->
+        Program_layout.with_os_map
+          (Program_layout.base ~model ~program)
+          ~name r.Opt.map ~os_meta:(Some r))
+      ctx.Context.pairs
+  in
+  layouts
+
+let total_misses ctx layouts =
+  let runs =
+    Runner.simulate ctx ~layouts
+      ~system:(fun () -> System.unified (Config.make ~size_kb:8 ()))
+      ()
+  in
+  Counters.misses (Runner.total runs)
+
+let compute (ctx : Context.t) =
+  let base = total_misses ctx (Levels.build ctx Levels.Base) in
+  let full = total_misses ctx (os_variant ctx "OptS") in
+  let variant name what layouts =
+    let misses = total_misses ctx layouts in
+    {
+      name;
+      what;
+      misses;
+      vs_base = Stats.ratio misses base;
+      vs_opt_s = Stats.ratio misses full;
+    }
+  in
+  [
+    variant "OptS" "full algorithm" (os_variant ctx "OptS");
+    variant "-schedule" "flat (0,0) passes, no threshold descent"
+      (os_variant ctx ~schedule:Schedule.flat "flat");
+    variant "-seeds" "interrupt seed only"
+      (os_variant ctx
+         ~schedule:(Schedule.restrict [ Service.Interrupt ] Schedule.paper)
+         "one-seed");
+    variant "-interleave" "sequences stop at routine boundaries"
+      (os_variant ctx ~follow_calls:false "no-interleave");
+    variant "-scf" "no SelfConfFree area"
+      (os_variant ctx ~params:(Opt.params ~scf_cutoff:None ()) "no-scf");
+  ]
+  |> fun variants -> (base, variants)
+
+let run ctx =
+  Report.section "Ablation: removing one OptS ingredient at a time (8KB DM)";
+  let base, variants = compute ctx in
+  let t =
+    Table.create
+      [
+        ("variant", Table.Left); ("removes", Table.Left); ("misses", Table.Right);
+        ("vs Base", Table.Right); ("vs OptS", Table.Right);
+      ]
+  in
+  Table.add_row t
+    [ "Base"; "(original layout)"; Table.cell_i base; Table.cell_f 1.0; "" ];
+  List.iter
+    (fun v ->
+      Table.add_row t
+        [
+          v.name; v.what; Table.cell_i v.misses; Table.cell_f v.vs_base;
+          Table.cell_f v.vs_opt_s;
+        ])
+    variants;
+  Table.print t;
+  Report.note
+    "every ingredient should cost misses when removed; the threshold schedule and";
+  Report.note
+    "caller/callee interleaving are the paper's claimed advantages over C-H"

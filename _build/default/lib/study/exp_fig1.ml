@@ -1,0 +1,52 @@
+type result = {
+  total_bins : int array;
+  self_bins : int array;
+  cross_bins : int array;
+  self_pct : float;
+  top2_peak_pct : float;
+}
+
+(* TRFD+Make is workload index 1, as in the paper's Figure 1. *)
+let compute (ctx : Context.t) =
+  let wl = 1 in
+  let layouts = Levels.build ctx Levels.Base in
+  let config = Config.make ~size_kb:16 () in
+  let sys = System.unified config in
+  let program = snd ctx.Context.pairs.(wl) in
+  let blocks =
+    Array.init (Program.image_count program) (fun k ->
+        Graph.block_count (Program.graph program k))
+  in
+  System.enable_block_attribution sys ~images:(Program.image_count program) ~blocks;
+  let trace = ctx.Context.traces.(wl) in
+  let map = Program_layout.code_map layouts.(wl) in
+  let warmup = Trace.length trace / 5 in
+  Replay.run_range ~trace ~map ~systems:[ sys ] ~warmup;
+  let c = System.counters sys in
+  let base_map = layouts.(wl).Program_layout.os_map in
+  let positions = Address_map.addr_array base_map in
+  let sizes = Address_map.bytes_array base_map in
+  let bins misses = Missmap.by_address ~positions ~sizes ~misses ~bin:1024 in
+  let total_bins = bins (System.block_misses sys ~image:0) in
+  {
+    total_bins;
+    self_bins = bins (System.block_misses_self sys ~image:0);
+    cross_bins = bins (System.block_misses_cross sys ~image:0);
+    self_pct = Stats.pct c.Counters.os_self (Counters.os_misses c);
+    top2_peak_pct = 100.0 *. Missmap.peak_fraction total_bins ~n:2;
+  }
+
+let run ctx =
+  Report.section "Figure 1: OS miss-address distribution (TRFD+Make, 16KB DM)";
+  let r = compute ctx in
+  Report.note "largest miss peaks (1KB bins of the Base address space):";
+  List.iter
+    (fun (bin, count) ->
+      if count > 0 then
+        Report.note "  addr %5dK: total %6d  self %6d  app-interf %6d" bin count
+          r.self_bins.(bin) r.cross_bins.(bin))
+    (Missmap.peaks r.total_bins ~n:8);
+  Report.note "self-interference share of OS misses: %.1f%%" r.self_pct;
+  Report.note "two largest peaks hold %.1f%% of OS misses" r.top2_peak_pct;
+  Report.paper "self-interference accounts for over 90% of OS misses in all workloads;";
+  Report.paper "the two dominant peaks hold 12.6% + 8.6% of OS misses in TRFD+Make"

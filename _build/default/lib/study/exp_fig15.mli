@@ -1,0 +1,16 @@
+(** Figure 15: (a) total miss rates for 4-32 KB direct-mapped caches with
+    32-byte lines under Base, C-H and OptS; (b) estimated execution-speed
+    increase of OptS over Base for 10/30/50-cycle miss penalties. *)
+
+type point = {
+  size_kb : int;
+  workload : string;
+  base_pct : float;
+  ch_pct : float;
+  opt_s_pct : float;
+  speedups : float array;  (** Per {!Speedup.penalties}. *)
+}
+
+val compute : Context.t -> point array
+
+val run : Context.t -> unit

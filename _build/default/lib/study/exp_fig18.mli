@@ -1,0 +1,18 @@
+(** Figure 18: alternative setups at a fixed 8 KB / 32 B budget -
+    [Sep] (split 4 KB OS + 4 KB application caches), [Resv] (1 KB cache
+    reserved for the hottest OS code + 7 KB for the rest), and [Call]
+    (the Section 4.4 loop-callee placement) - against Base and OptA. *)
+
+type bar = {
+  setup : string;
+  os_misses : int;
+  app_misses : int;
+  total : int;
+  normalized : float;  (** Over Base. *)
+}
+
+type row = { workload : string; bars : bar array }
+
+val compute : Context.t -> row array
+
+val run : Context.t -> unit

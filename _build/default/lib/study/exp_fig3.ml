@@ -1,0 +1,25 @@
+type result = { bins : Arcstat.bin array; ge_99 : float; le_01 : float }
+
+let compute (ctx : Context.t) =
+  let g = Context.os_graph ctx in
+  let union = Profile.average (Array.to_list ctx.Context.os_profiles) in
+  let bins = Arcstat.distribution union g () in
+  {
+    bins;
+    ge_99 = Arcstat.fraction_at_least bins 0.95;
+    le_01 = Arcstat.fraction_at_most bins 0.01;
+  }
+
+let run ctx =
+  Report.section "Figure 3: outgoing-arc transition-probability distribution";
+  let r = compute ctx in
+  let series =
+    Array.to_list r.bins
+    |> List.map (fun (b : Arcstat.bin) ->
+           (Printf.sprintf "(%.2f,%.2f]" b.Arcstat.lo b.Arcstat.hi,
+            float_of_int b.Arcstat.count))
+  in
+  print_string (Chart.bars ~title:"  arcs per probability bin" series);
+  Report.note "arcs with probability >= 0.95: %.1f%%" (100.0 *. r.ge_99);
+  Report.note "arcs with probability <= 0.01: %.1f%%" (100.0 *. r.le_01);
+  Report.paper "73.6% of arcs have probability >= 0.99; 6.9% have <= 0.01 (bimodal)"

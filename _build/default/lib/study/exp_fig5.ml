@@ -1,0 +1,54 @@
+type result = {
+  loop_count : int;
+  iters_le_10_pct : float;
+  median_size_bytes : float;
+  max_size_bytes : int;
+  iteration_bins : (string * int) list;
+  size_bins : (string * int) list;
+}
+
+let compute (ctx : Context.t) =
+  let g = Context.os_graph ctx in
+  let loops = Context.os_loops ctx in
+  let union = Profile.average (Array.to_list ctx.Context.os_profiles) in
+  let infos = Loopstat.analyze g union loops in
+  let with_calls = snd (Loopstat.split_by_calls infos) in
+  let n = List.length with_calls in
+  let iters =
+    Array.of_list
+      (List.map (fun (i : Loopstat.info) -> i.iterations_per_invocation) with_calls)
+  in
+  let le k = Array.fold_left (fun acc v -> if v <= k then acc + 1 else acc) 0 iters in
+  let iter_hist = Histogram.explicit [| 2; 4; 6; 10; 25; 50 |] in
+  Array.iter (fun v -> Histogram.add iter_hist (int_of_float v)) iters;
+  let sizes =
+    Array.of_list
+      (List.map
+         (fun (i : Loopstat.info) -> float_of_int i.executed_bytes_with_callees)
+         with_calls)
+  in
+  let size_hist = Histogram.explicit [| 256; 512; 1024; 2048; 4096; 8192; 16384 |] in
+  Array.iter (fun v -> Histogram.add size_hist (int_of_float v)) sizes;
+  {
+    loop_count = n;
+    iters_le_10_pct = Stats.pct (le 10.0) n;
+    median_size_bytes = Stats.median sizes;
+    max_size_bytes = int_of_float (if Array.length sizes = 0 then 0.0 else Stats.maximum sizes);
+    iteration_bins = Histogram.to_list iter_hist;
+    size_bins = Histogram.to_list size_hist;
+  }
+
+let run ctx =
+  Report.section "Figure 5: loops with procedure calls";
+  let r = compute ctx in
+  Report.note "executed loops with calls: %d" r.loop_count;
+  print_string
+    (Chart.bars ~title:"  iterations per invocation"
+       (List.map (fun (l, c) -> (l, float_of_int c)) r.iteration_bins));
+  print_string
+    (Chart.bars ~title:"  executed static size incl. callees (bytes)"
+       (List.map (fun (l, c) -> (l, float_of_int c)) r.size_bins));
+  Report.note "loops with <= 10 iterations/invocation: %.0f%%" r.iters_le_10_pct;
+  Report.note "median executed size incl. callees: %.0f bytes (max %d)"
+    r.median_size_bytes r.max_size_bytes;
+  Report.paper "71 loops; usually <= 10 iterations; median size 2KB, a few above 16KB"

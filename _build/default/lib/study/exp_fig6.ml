@@ -1,0 +1,41 @@
+type result = {
+  workload : string;
+  executed_routines : int;
+  top5_pct : float;
+  top20_pct : float;
+  series_head : float array;
+}
+
+let compute (ctx : Context.t) =
+  let g = Context.os_graph ctx in
+  Array.mapi
+    (fun i (w, _) ->
+      let p = ctx.Context.os_profiles.(i) in
+      let series = Popularity.routine_series p g in
+      let prefix n =
+        Array.fold_left ( +. ) 0.0 (Array.sub series 0 (min n (Array.length series)))
+      in
+      {
+        workload = w.Workload.name;
+        executed_routines = Array.length series;
+        top5_pct = prefix 5;
+        top20_pct = prefix 20;
+        series_head = Array.sub series 0 (min 20 (Array.length series));
+      })
+    ctx.Context.pairs
+
+let run ctx =
+  Report.section "Figure 6: routine invocation skew";
+  let results = compute ctx in
+  Array.iter
+    (fun r ->
+      Report.note "%-10s: %3d routines invoked; top-5 take %.1f%%, top-20 take %.1f%%"
+        r.workload r.executed_routines r.top5_pct r.top20_pct)
+    results;
+  let union =
+    let g = Context.os_graph ctx in
+    let p = Profile.average (Array.to_list ctx.Context.os_profiles) in
+    Popularity.routine_series p g
+  in
+  Report.note "union of workloads: %d distinct routines executed" (Array.length union);
+  Report.paper "about 600 routines executed; a few account for most invocations"

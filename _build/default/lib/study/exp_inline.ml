@@ -1,0 +1,113 @@
+(* Function-inlining comparison (Section 4.1's rejected alternative).
+
+   The kernel is rewritten with every hot small-leaf call site inlined,
+   the four workloads are re-traced on the rewritten kernel, and an OptS
+   layout is built for it from its own averaged profile.  The paper's
+   argument (after Chen et al.) is that inlining expands the active code
+   and increases conflicts, making it unstable next to sequence-based
+   placement, which borrows only the callee blocks it needs. *)
+
+type row = {
+  workload : string;
+  opt_s_rate : float;  (** OptS on the original kernel. *)
+  inline_rate : float;  (** OptS on the inlined kernel. *)
+}
+
+type result = {
+  stats : Inline.stats;
+  code_growth_pct : float;
+  rows : row array;
+}
+
+let compute (ctx : Context.t) =
+  let model = ctx.Context.model in
+  let inlined, stats =
+    Inline.transform ~model ~profile:ctx.Context.avg_os_profile ()
+  in
+  let growth =
+    Stats.pct stats.Inline.added_bytes (Graph.code_bytes model.Model.graph)
+  in
+  (* Re-trace the four workloads on the inlined kernel and build its OptS
+     layout from its own averaged profile, exactly as for the original. *)
+  let pairs = Workload.standard_programs inlined in
+  let traces = Array.make (Array.length pairs) None in
+  let profiles = Array.make (Array.length pairs) None in
+  Array.iteri
+    (fun i ((w : Workload.t), program) ->
+      let profs, sink = Profile.sinks ~program in
+      let trace = Trace.create ~capacity:(ctx.Context.words / 4) () in
+      let _ =
+        Engine.run ~program ~workload:w ~words:ctx.Context.words ~seed:(11 + i)
+          ~sink:(Engine.combine_sinks [ sink; Engine.trace_sink trace ])
+      in
+      traces.(i) <- Some trace;
+      profiles.(i) <- Some profs.(0))
+    pairs;
+  let avg =
+    Profile.average (Array.to_list (Array.map Option.get profiles))
+  in
+  let loops = Loops.find inlined.Model.graph in
+  let opt =
+    Opt.os_layout ~model:inlined ~profile:avg ~loops (Opt.params ())
+  in
+  let inline_rate i =
+    let _, program = pairs.(i) in
+    let layout =
+      Program_layout.with_os_map
+        (Program_layout.base ~model:inlined ~program)
+        ~name:"Inline+OptS" opt.Opt.map ~os_meta:(Some opt)
+    in
+    let system = System.unified (Config.make ~size_kb:8 ()) in
+    let trace = Option.get traces.(i) in
+    Replay.run_range ~trace ~map:(Program_layout.code_map layout)
+      ~systems:[ system ]
+      ~warmup:(Trace.length trace / 5);
+    Counters.miss_rate (System.counters system)
+  in
+  (* Reference: plain OptS on the original kernel, original traces. *)
+  let opt_layouts = Levels.build ctx Levels.OptS in
+  let reference =
+    Runner.simulate ctx ~layouts:opt_layouts
+      ~system:(fun () -> System.unified (Config.make ~size_kb:8 ()))
+      ()
+  in
+  let rows =
+    Array.mapi
+      (fun i ((w : Workload.t), _) ->
+        {
+          workload = w.Workload.name;
+          opt_s_rate = Counters.miss_rate reference.(i).Runner.counters;
+          inline_rate = inline_rate i;
+        })
+      ctx.Context.pairs
+  in
+  { stats; code_growth_pct = growth; rows }
+
+let run ctx =
+  Report.section "Inlining: OptS vs inline-then-OptS (8KB DM, 32B lines)";
+  let r = compute ctx in
+  Report.note "inlined %d call sites of %d leaf routines; +%d bytes (%.1f%% of the kernel)"
+    r.stats.Inline.sites r.stats.Inline.callees r.stats.Inline.added_bytes
+    r.code_growth_pct;
+  let t =
+    Table.create
+      [
+        ("Workload", Table.Left); ("OptS %", Table.Right);
+        ("Inline+OptS %", Table.Right); ("ratio", Table.Right);
+      ]
+  in
+  Array.iter
+    (fun row ->
+      Table.add_row t
+        [
+          row.workload;
+          Table.cell_f ~decimals:3 (100.0 *. row.opt_s_rate);
+          Table.cell_f ~decimals:3 (100.0 *. row.inline_rate);
+          Table.cell_f (row.inline_rate /. Float.max 1e-12 row.opt_s_rate);
+        ])
+    r.rows;
+  Table.print t;
+  Report.paper
+    "Chen et al. (cited in 4.1): inlining is not a stable and effective scheme;";
+  Report.paper
+    "code expansion increases conflicts, so the paper's sequences do not inline"

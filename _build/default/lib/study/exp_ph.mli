@@ -1,0 +1,9 @@
+(** Baseline comparison beyond the paper: Base / Chang-Hwu /
+    Pettis-Hansen / OptS miss rates on the 8 KB direct-mapped cache. *)
+
+type row = { workload : string; rates : (string * float) list }
+
+val levels : string list
+
+val compute : Context.t -> row array
+val run : Context.t -> unit

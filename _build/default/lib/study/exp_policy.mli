@@ -1,0 +1,13 @@
+(** Replacement-policy sensitivity (beyond the paper): the Base and OptS
+    miss rates on a 4-way 8 KB cache under LRU, FIFO and random
+    replacement. *)
+
+type row = {
+  workload : string;
+  rates : (string * float * float) array;  (** policy, Base, OptS. *)
+}
+
+val policies : (string * Config.policy) array
+
+val compute : Context.t -> row array
+val run : Context.t -> unit

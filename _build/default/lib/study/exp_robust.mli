@@ -1,0 +1,10 @@
+(** Methodology robustness: the OptS/Base total-miss ratio on the 8 KB
+    cache as the traced word budget varies, showing the committed 2 M-word
+    configuration is long enough. *)
+
+type point = { words : int; ratio : float }
+
+val budgets : int array
+
+val compute : Context.t -> point array
+val run : Context.t -> unit

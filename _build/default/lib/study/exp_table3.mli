@@ -1,0 +1,13 @@
+(** Table 3: fraction of OS instructions in loops without procedure calls
+    (dynamic, static-over-executed, static-over-total). *)
+
+type row = {
+  workload : string;
+  dynamic_pct : float;
+  static_executed_pct : float;
+  static_pct : float;
+}
+
+val compute : Context.t -> row array
+
+val run : Context.t -> unit

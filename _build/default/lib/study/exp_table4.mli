@@ -1,0 +1,15 @@
+(** Table 4: the (ExecThresh, BranchThresh) schedule and the length (basic
+    blocks and bytes) of the sequence each pass generates on the averaged
+    profile. *)
+
+type row = {
+  service : Service.t;
+  exec_thresh : float;
+  branch_thresh : float;
+  blocks : int;
+  bytes : int;
+}
+
+val compute : Context.t -> row array
+
+val run : Context.t -> unit

@@ -1,0 +1,10 @@
+(** Victim-cache comparison (beyond the paper): Base and OptS with and
+    without a small fully-associative victim buffer next to the 8 KB
+    direct-mapped cache. *)
+
+type row = { workload : string; rates : (string * float) list }
+
+val setups : (string * Levels.level * int option) list
+
+val compute : Context.t -> row array
+val run : Context.t -> unit

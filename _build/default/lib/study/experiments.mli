@@ -1,0 +1,15 @@
+(** Registry of every reproduced table and figure. *)
+
+type t = {
+  id : string;  (** e.g. "table1", "fig12". *)
+  title : string;
+  run : Context.t -> unit;
+}
+
+val all : t list
+(** In paper order. *)
+
+val find : string -> t
+(** @raise Not_found on an unknown id. *)
+
+val run_all : Context.t -> unit

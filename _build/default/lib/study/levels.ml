@@ -1,0 +1,31 @@
+type level = Base | CH | OptS | OptL | OptA
+
+let all = [| Base; CH; OptS; OptL; OptA |]
+
+let to_string = function
+  | Base -> "Base"
+  | CH -> "C-H"
+  | OptS -> "OptS"
+  | OptL -> "OptL"
+  | OptA -> "OptA"
+
+let build (ctx : Context.t) ?(params = Opt.params ()) level =
+  let model = ctx.Context.model in
+  let os_profile = ctx.Context.avg_os_profile in
+  Array.map
+    (fun ((_w : Workload.t), program) ->
+      match level with
+      | Base -> Program_layout.base ~model ~program
+      | CH -> Program_layout.chang_hwu ~model ~program ~os_profile
+      | OptS -> Program_layout.opt_s ~model ~program ~os_profile ~params ()
+      | OptL -> Program_layout.opt_l ~model ~program ~os_profile ~params ()
+      | OptA ->
+          let app_profiles =
+            Array.map ctx.Context.avg_app_profile program.Program.apps
+          in
+          Program_layout.opt_a ~model ~program ~os_profile ~app_profiles ~params ())
+    ctx.Context.pairs
+
+let build_opt_s_with ctx ~params = build ctx ~params OptS
+
+let code_maps layouts = Array.map Program_layout.code_map layouts

@@ -1,0 +1,18 @@
+(** The evaluation's layout levels and their per-workload program
+    layouts.  OS placements are shared across workloads (the paper builds
+    them from the averaged profile); application placements depend on the
+    workload's app images. *)
+
+type level = Base | CH | OptS | OptL | OptA
+
+val all : level array
+val to_string : level -> string
+
+val build : Context.t -> ?params:Opt.params -> level -> Program_layout.t array
+(** One program layout per workload, in workload order. *)
+
+val build_opt_s_with : Context.t -> params:Opt.params -> Program_layout.t array
+(** OptS with explicit parameters (SelfConfFree sweeps, cache-size
+    variations). *)
+
+val code_maps : Program_layout.t array -> Replay.code_map array

@@ -1,0 +1,10 @@
+(** Output helpers shared by the experiment drivers. *)
+
+val section : string -> unit
+(** Print a banner for one experiment. *)
+
+val note : ('a, unit, string, unit) format4 -> 'a
+(** Print an indented remark line. *)
+
+val paper : string -> unit
+(** Print the paper's reported value/shape for side-by-side comparison. *)

@@ -1,0 +1,34 @@
+type run = { counters : Counters.t; os_block_misses : int array }
+
+let simulate (ctx : Context.t) ~layouts ~system ?(attribute_os = false)
+    ?(warmup_fraction = 0.2) () =
+  Array.mapi
+    (fun i (_w, program) ->
+      let sys = system () in
+      if attribute_os then begin
+        let blocks =
+          Array.init (Program.image_count program) (fun k ->
+              Graph.block_count (Program.graph program k))
+        in
+        System.enable_block_attribution sys ~images:(Program.image_count program)
+          ~blocks
+      end;
+      let map = Program_layout.code_map layouts.(i) in
+      let trace = ctx.Context.traces.(i) in
+      let warmup =
+        int_of_float (warmup_fraction *. float_of_int (Trace.length trace))
+      in
+      Replay.run_range ~trace ~map ~systems:[ sys ] ~warmup;
+      {
+        counters = System.counters sys;
+        os_block_misses = (if attribute_os then System.block_misses sys ~image:0 else [||]);
+      })
+    ctx.Context.pairs
+
+let simulate_config ctx ~layouts ~config ?(attribute_os = false) () =
+  simulate ctx ~layouts ~system:(fun () -> System.unified config) ~attribute_os ()
+
+let total runs =
+  let acc = Counters.create () in
+  Array.iter (fun r -> Counters.add acc r.counters) runs;
+  acc

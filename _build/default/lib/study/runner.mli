@@ -1,0 +1,27 @@
+(** Trace-replay driver: simulates cache systems for every workload under
+    given per-workload layouts.
+
+    A warm-up prefix of each trace fills the cache before counters start,
+    matching the paper's mid-execution hardware traces ("misses caused by
+    first-time references are negligible"). *)
+
+type run = {
+  counters : Counters.t;
+  os_block_misses : int array;  (** Per OS block; empty unless requested. *)
+}
+
+val simulate :
+  Context.t -> layouts:Program_layout.t array ->
+  system:(unit -> System.t) ->
+  ?attribute_os:bool -> ?warmup_fraction:float -> unit ->
+  run array
+(** One run per workload.  [system] builds a fresh cache system per
+    workload.  Default warm-up: the first 20% of events. *)
+
+val simulate_config :
+  Context.t -> layouts:Program_layout.t array -> config:Config.t ->
+  ?attribute_os:bool -> unit -> run array
+(** {!simulate} with a unified cache of the given geometry. *)
+
+val total : run array -> Counters.t
+(** Sum of all workloads' counters. *)

@@ -1,0 +1,78 @@
+type set = {
+  member : bool array;
+  next_in_seq : int array;
+  block_count : int;
+  routine_count : int;
+  bytes : int;
+}
+
+let of_sequences g seqs ~budget_bytes =
+  let member = Array.make (Graph.block_count g) false in
+  let next_in_seq = Array.make (Graph.block_count g) (-1) in
+  let bytes = ref 0 in
+  let block_count = ref 0 in
+  let routines = Hashtbl.create 64 in
+  let take (s : Sequence.t) =
+    Array.iteri
+      (fun i b ->
+        member.(b) <- true;
+        incr block_count;
+        Hashtbl.replace routines (Graph.routine_of_block g b) ();
+        if i + 1 < Array.length s.Sequence.blocks then
+          next_in_seq.(b) <- s.Sequence.blocks.(i + 1))
+      s.Sequence.blocks;
+    bytes := !bytes + s.Sequence.bytes
+  in
+  List.iter (fun s -> if !bytes + s.Sequence.bytes <= budget_bytes then take s) seqs;
+  {
+    member;
+    next_in_seq;
+    block_count = !block_count;
+    routine_count = Hashtbl.length routines;
+    bytes = !bytes;
+  }
+
+type predictability = { to_any : float; to_next : float }
+
+let predictability set ~trace =
+  let from_set = ref 0 and to_any = ref 0 and to_next = ref 0 in
+  let prev = ref (-1) in
+  Trace.iter_exec trace (fun ~image ~block ->
+      if Program.is_os image then begin
+        (if !prev >= 0 && set.member.(!prev) then begin
+           incr from_set;
+           if set.member.(block) then incr to_any;
+           if set.next_in_seq.(!prev) = block then incr to_next
+         end);
+        prev := block
+      end);
+  {
+    to_any = Stats.ratio !to_any !from_set;
+    to_next = Stats.ratio !to_next !from_set;
+  }
+
+type weight = { static_pct : float; refs_pct : float; misses_pct : float }
+
+let weight set ~graph:g ~profile:p ~os_block_misses =
+  let exec_blocks = ref 0 and set_blocks = ref 0 in
+  let words = ref 0.0 and set_words = ref 0.0 in
+  let misses = ref 0 and set_misses = ref 0 in
+  Graph.iter_blocks g (fun b ->
+      let id = b.Block.id in
+      let executed = Profile.executed p id in
+      if executed then begin
+        incr exec_blocks;
+        if set.member.(id) then incr set_blocks
+      end;
+      let w = p.Profile.block.(id) *. float_of_int (Block.instruction_words b) in
+      words := !words +. w;
+      if set.member.(id) then set_words := !set_words +. w;
+      if Array.length os_block_misses > 0 then begin
+        misses := !misses + os_block_misses.(id);
+        if set.member.(id) then set_misses := !set_misses + os_block_misses.(id)
+      end);
+  {
+    static_pct = Stats.pct !set_blocks !exec_blocks;
+    refs_pct = (if !words > 0.0 then 100.0 *. !set_words /. !words else 0.0);
+    misses_pct = Stats.pct !set_misses !misses;
+  }

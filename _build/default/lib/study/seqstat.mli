@@ -1,0 +1,36 @@
+(** Sequence predictability and weight (Table 2).
+
+    {e Core} sequences are those that would fit without self-conflict in an
+    8 KB cache, {e regular} sequences in a 16 KB cache; we take the most
+    popular sequences (schedule order) up to the byte budget.  For the
+    blocks in such a set the table reports how predictably execution stays
+    inside the set, and what share of executed blocks, references and
+    misses they carry. *)
+
+type set = {
+  member : bool array;  (** Per OS block. *)
+  next_in_seq : int array;  (** Successor inside the same sequence; -1. *)
+  block_count : int;
+  routine_count : int;
+  bytes : int;
+}
+
+val of_sequences : Graph.t -> Sequence.t list -> budget_bytes:int -> set
+(** Whole sequences are taken in schedule order while the budget allows. *)
+
+type predictability = {
+  to_any : float;  (** P(next executed OS block is in the set). *)
+  to_next : float;  (** P(next executed OS block is the sequence
+                        successor). *)
+}
+
+val predictability : set -> trace:Trace.t -> predictability
+
+type weight = {
+  static_pct : float;  (** Set blocks as % of executed blocks. *)
+  refs_pct : float;  (** Words fetched in set blocks as % of OS words. *)
+  misses_pct : float;  (** Set misses as % of OS misses. *)
+}
+
+val weight :
+  set -> graph:Graph.t -> profile:Profile.t -> os_block_misses:int array -> weight

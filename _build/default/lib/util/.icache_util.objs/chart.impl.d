@@ -1,0 +1,1 @@
+lib/util/chart.ml: Buffer Float List Printf String

@@ -1,0 +1,106 @@
+type shape =
+  | Linear of { lo : int; hi : int; bucket : int }
+  | Log2 of { max_exp : int }
+  | Explicit of int array
+
+type t = { shape : shape; counts : int array; mutable total : int }
+
+let make shape n = { shape; counts = Array.make n 0; total = 0 }
+
+let linear ~lo ~hi ~bucket =
+  if hi <= lo then invalid_arg "Histogram.linear: empty range";
+  if bucket <= 0 then invalid_arg "Histogram.linear: bucket must be positive";
+  let n = ((hi - lo) + bucket - 1) / bucket in
+  make (Linear { lo; hi; bucket }) n
+
+let log2 ~max_exp =
+  if max_exp <= 0 then invalid_arg "Histogram.log2: max_exp must be positive";
+  make (Log2 { max_exp }) (max_exp + 1)
+
+let explicit edges =
+  let n = Array.length edges in
+  if n = 0 then invalid_arg "Histogram.explicit: no edges";
+  for i = 1 to n - 1 do
+    if edges.(i) <= edges.(i - 1) then
+      invalid_arg "Histogram.explicit: edges must be strictly increasing"
+  done;
+  make (Explicit (Array.copy edges)) (n + 1)
+
+let bucket_of t v =
+  match t.shape with
+  | Linear { lo; hi; bucket } ->
+      let v = if v < lo then lo else if v >= hi then hi - 1 else v in
+      (v - lo) / bucket
+  | Log2 { max_exp } ->
+      let v = if v < 0 then 0 else v in
+      let rec magnitude x i = if x <= 0 then i else magnitude (x lsr 1) (i + 1) in
+      let m = magnitude (v + 1) (-1) in
+      if m > max_exp then max_exp else m
+  | Explicit edges ->
+      let n = Array.length edges in
+      (* First bucket i such that v < edges.(i); fall through to bucket n. *)
+      let rec search lo hi =
+        if lo >= hi then lo
+        else
+          let mid = (lo + hi) / 2 in
+          if v < edges.(mid) then search lo mid else search (mid + 1) hi
+      in
+      search 0 n
+
+let add_many t v n =
+  let i = bucket_of t v in
+  t.counts.(i) <- t.counts.(i) + n;
+  t.total <- t.total + n
+
+let add t v = add_many t v 1
+
+let bucket_count t = Array.length t.counts
+
+let count t i = t.counts.(i)
+
+let total t = t.total
+
+let fraction t i = if t.total = 0 then 0.0 else float_of_int t.counts.(i) /. float_of_int t.total
+
+let bucket_label t i =
+  match t.shape with
+  | Linear { lo; hi; bucket } ->
+      let b_lo = lo + (i * bucket) in
+      let b_hi = min hi (b_lo + bucket) in
+      Printf.sprintf "[%d,%d)" b_lo b_hi
+  | Log2 { max_exp } ->
+      if i = 0 then "0"
+      else if i >= max_exp then Printf.sprintf ">=%d" ((1 lsl max_exp) - 1)
+      else Printf.sprintf "[%d,%d]" ((1 lsl i) - 1) ((1 lsl (i + 1)) - 2)
+  | Explicit edges ->
+      let n = Array.length edges in
+      if i = 0 then Printf.sprintf "<%d" edges.(0)
+      else if i = n then Printf.sprintf ">=%d" edges.(n - 1)
+      else Printf.sprintf "[%d,%d)" edges.(i - 1) edges.(i)
+
+let to_list t =
+  List.init (bucket_count t) (fun i -> (bucket_label t i, t.counts.(i)))
+
+let cumulative_fraction_below t i =
+  if t.total = 0 then 0.0
+  else begin
+    let acc = ref 0 in
+    for j = 0 to min i (bucket_count t - 1) do
+      acc := !acc + t.counts.(j)
+    done;
+    float_of_int !acc /. float_of_int t.total
+  end
+
+let same_shape a b =
+  match (a.shape, b.shape) with
+  | Linear x, Linear y -> x.lo = y.lo && x.hi = y.hi && x.bucket = y.bucket
+  | Log2 x, Log2 y -> x.max_exp = y.max_exp
+  | Explicit x, Explicit y -> x = y
+  | (Linear _ | Log2 _ | Explicit _), _ -> false
+
+let merge dst src =
+  if not (same_shape dst src) then invalid_arg "Histogram.merge: shape mismatch";
+  Array.iteri (fun i c -> dst.counts.(i) <- dst.counts.(i) + c) src.counts;
+  dst.total <- dst.total + src.total
+
+let copy_empty t = make t.shape (bucket_count t)

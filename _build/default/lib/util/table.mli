@@ -1,0 +1,30 @@
+(** ASCII table rendering for the benchmark harness output. *)
+
+type align = Left | Right
+
+type t
+
+val create : ?title:string -> (string * align) list -> t
+(** [create ~title columns] starts a table with the given column headers. *)
+
+val add_row : t -> string list -> unit
+(** Append a row.  @raise Invalid_argument if the arity differs from the
+    header. *)
+
+val add_separator : t -> unit
+(** Append a horizontal rule between rows. *)
+
+val render : t -> string
+(** The table as a string (trailing newline included). *)
+
+val print : t -> unit
+(** [render] to stdout. *)
+
+val cell_f : ?decimals:int -> float -> string
+(** Format a float cell (default 2 decimals). *)
+
+val cell_pct : ?decimals:int -> float -> string
+(** Format a percentage cell with a trailing [%]. *)
+
+val cell_i : int -> string
+(** Format an int cell with thousands separators. *)

@@ -1,0 +1,1 @@
+lib/workload/engine.ml: App_model Arc Array Block Graph Hashtbl List Model Prng Program Service Trace Walker Workload

@@ -1,0 +1,1 @@
+lib/workload/engine.mli: Arc Block Program Service Trace Workload

@@ -1,0 +1,1 @@
+lib/workload/multiproc.ml: App_model Array Block Graph Hashtbl List Model Prng Program Service Trace Walker Workload

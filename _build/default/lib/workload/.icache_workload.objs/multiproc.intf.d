@@ -1,0 +1,1 @@
+lib/workload/multiproc.mli: Program Trace Workload

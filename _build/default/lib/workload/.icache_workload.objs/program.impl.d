@@ -1,0 +1,1 @@
+lib/workload/program.ml: App_model Array Model

@@ -1,0 +1,1 @@
+lib/workload/program.mli: App_model Graph Model

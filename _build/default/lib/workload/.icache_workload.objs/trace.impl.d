@@ -1,0 +1,1 @@
+lib/workload/trace.ml: Array Block List Service

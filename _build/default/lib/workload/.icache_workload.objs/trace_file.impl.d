@@ -1,0 +1,1 @@
+lib/workload/trace_file.ml: Bytes Fun Int32 Int64 String Trace

@@ -1,0 +1,1 @@
+lib/workload/walker.ml: Arc Array Block Graph Prng Stack

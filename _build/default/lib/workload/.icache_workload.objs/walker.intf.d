@@ -1,0 +1,1 @@
+lib/workload/walker.mli: Arc Block Graph Prng

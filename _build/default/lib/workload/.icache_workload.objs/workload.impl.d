@@ -1,0 +1,1 @@
+lib/workload/workload.ml: App_model Array Model Prng Program

@@ -1,0 +1,218 @@
+type stats = {
+  total_words : int;
+  os_words : int;
+  app_words : int;
+  invocations : int array;
+  context_switches : int;
+}
+
+type sink = {
+  on_exec : image:int -> block:Block.id -> unit;
+  on_arc : image:int -> arc:Arc.id -> unit;
+  on_invocation_start : Service.t -> unit;
+  on_invocation_end : unit -> unit;
+}
+
+let null_sink =
+  {
+    on_exec = (fun ~image:_ ~block:_ -> ());
+    on_arc = (fun ~image:_ ~arc:_ -> ());
+    on_invocation_start = ignore;
+    on_invocation_end = ignore;
+  }
+
+let trace_sink trace =
+  {
+    on_exec = (fun ~image ~block -> Trace.append trace (Trace.Exec { image; block }));
+    on_arc = (fun ~image:_ ~arc:_ -> ());
+    on_invocation_start = (fun c -> Trace.append trace (Trace.Invocation_start c));
+    on_invocation_end = (fun () -> Trace.append trace Trace.Invocation_end);
+  }
+
+let combine_sinks sinks =
+  {
+    on_exec = (fun ~image ~block -> List.iter (fun s -> s.on_exec ~image ~block) sinks);
+    on_arc = (fun ~image ~arc -> List.iter (fun s -> s.on_arc ~image ~arc) sinks);
+    on_invocation_start = (fun c -> List.iter (fun s -> s.on_invocation_start c) sinks);
+    on_invocation_end = (fun () -> List.iter (fun s -> s.on_invocation_end ()) sinks);
+  }
+
+(* Longest application burst between two OS invocations, in words.  Keeps
+   the self-regulating ratio controller from starving OS activity. *)
+let max_burst = 30_000
+
+let run ~program ~workload ~words:target ~seed ~sink =
+  let os = program.Program.os in
+  let g_class = Prng.of_int (seed * 3 + 1) in
+  let g_os = Prng.of_int (seed * 3 + 2) in
+  let g_app = Prng.of_int (seed * 3 + 3) in
+
+  (* Fast per-image word counts. *)
+  let words_of =
+    Array.init (Program.image_count program) (fun i ->
+        let g = Program.graph program i in
+        Array.init (Graph.block_count g) (fun b ->
+            Block.instruction_words (Graph.block g b)))
+  in
+
+  (* Dispatch handling: block id -> class index, and per class the arc for
+     each handler plus the currently selected handler. *)
+  let dispatch_class = Hashtbl.create 8 in
+  let arcs_by_handler =
+    Array.map
+      (fun (d : Model.dispatch) ->
+        let arr = Array.make (Array.length d.arcs) (-1) in
+        Array.iter (fun (a, hi) -> arr.(hi) <- a) d.arcs;
+        arr)
+      os.Model.dispatches
+  in
+  Array.iteri
+    (fun ci (d : Model.dispatch) -> Hashtbl.add dispatch_class d.block ci)
+    os.Model.dispatches;
+  let current_handler = Array.make Service.count 0 in
+  let os_choose b _arcs =
+    match Hashtbl.find_opt dispatch_class b with
+    | None -> None
+    | Some ci -> Some arcs_by_handler.(ci).(current_handler.(ci))
+  in
+  let os_walker =
+    Walker.create ~graph:os.Model.graph ~arc_prob:os.Model.arc_prob ~prng:g_os
+      ~choose:os_choose
+      ~on_arc:(fun arc -> sink.on_arc ~image:Program.os_image ~arc)
+      ()
+  in
+
+  let sample_handler ci =
+    let w = workload.Workload.handler_weights.(ci) in
+    let total = Array.fold_left ( +. ) 0.0 w in
+    if total <= 0.0 then 0
+    else begin
+      let u = Prng.unit_float g_class *. total in
+      let rec scan i acc =
+        if i >= Array.length w - 1 then i
+        else
+          let acc = acc +. w.(i) in
+          if u < acc then i else scan (i + 1) acc
+      in
+      scan 0 0.0
+    end
+  in
+
+  (* Application instances: persistent walkers over their image graphs. *)
+  let instances = workload.Workload.app_instances in
+  let n_instances = Array.length instances in
+  let app_walkers =
+    Array.map
+      (fun image ->
+        Walker.create ~graph:(Program.graph program image)
+          ~arc_prob:(Program.arc_prob program image)
+          ~prng:(Prng.split g_app)
+          ~on_arc:(fun arc -> sink.on_arc ~image ~arc)
+          ())
+      instances
+  in
+  let app_main image =
+    Graph.entry_of
+      (Program.graph program image)
+      program.Program.apps.(image - 1).App_model.main
+  in
+
+  let os_words = ref 0 in
+  let app_words = ref 0 in
+  let invocations = Array.make Service.count 0 in
+  let switches = ref 0 in
+  let inv_total = ref 0 in
+  let current = ref 0 in
+
+  let class_choices =
+    Array.mapi (fun i p -> (i, p)) workload.Workload.mix
+  in
+
+  let run_invocation ci =
+    invocations.(ci) <- invocations.(ci) + 1;
+    sink.on_invocation_start (Service.of_index ci);
+    let info = Model.seed_for os (Service.of_index ci) in
+    Walker.start os_walker info.Model.entry;
+    let rec go () =
+      match Walker.step os_walker with
+      | None -> ()
+      | Some b ->
+          sink.on_exec ~image:Program.os_image ~block:b;
+          os_words := !os_words + words_of.(0).(b);
+          go ()
+    in
+    go ();
+    sink.on_invocation_end ()
+  in
+
+  let run_app_burst budget =
+    if n_instances > 0 && budget > 0 then begin
+      let w = app_walkers.(!current) in
+      let image = instances.(!current) in
+      let emitted = ref 0 in
+      while !emitted < budget do
+        if not (Walker.active w) then Walker.start w (app_main image);
+        match Walker.step w with
+        | None -> ()
+        | Some b ->
+            sink.on_exec ~image ~block:b;
+            let n = words_of.(image).(b) in
+            emitted := !emitted + n;
+            app_words := !app_words + n
+      done
+    end
+  in
+
+  let f = workload.Workload.os_fraction in
+  let prev = ref None in
+  while !os_words + !app_words < target do
+    incr inv_total;
+    let switching =
+      workload.Workload.switch_period > 0
+      && !inv_total mod workload.Workload.switch_period = 0
+      && n_instances > 1
+    in
+    let ci =
+      if switching then begin
+        (* A forced context switch runs the switch handler itself: class
+           Other, handler 0 (state save/restore, TLB invalidation). *)
+        let ci = Service.index Service.Other in
+        current_handler.(ci) <- 0;
+        ci
+      end
+      else
+        match !prev with
+        | Some (pc, ph) when Prng.bernoulli g_class workload.Workload.repeat_prob ->
+            current_handler.(pc) <- ph;
+            pc
+        | Some _ | None ->
+            let ci = Prng.choose_weighted g_class class_choices in
+            current_handler.(ci) <- sample_handler ci;
+            ci
+    in
+    prev := Some (ci, current_handler.(ci));
+    run_invocation ci;
+    if switching then begin
+      incr switches;
+      current := (!current + 1) mod n_instances
+    end;
+    if n_instances > 0 && f < 1.0 then begin
+      let desired_app =
+        int_of_float (float_of_int !os_words *. (1.0 -. f) /. f)
+      in
+      let budget = min max_burst (desired_app - !app_words) in
+      run_app_burst budget
+    end
+  done;
+  {
+    total_words = !os_words + !app_words;
+    os_words = !os_words;
+    app_words = !app_words;
+    invocations;
+    context_switches = !switches;
+  }
+
+let capture ~program ~workload ~words ~seed =
+  let trace = Trace.create ~capacity:(words / 4) () in
+  let stats = run ~program ~workload ~words ~seed ~sink:(trace_sink trace) in
+  (trace, stats)

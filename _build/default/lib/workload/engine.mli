@@ -1,0 +1,46 @@
+(** The trace engine: interleaves application execution with OS
+    invocations, reproducing the reference streams the paper's hardware
+    monitor captured.
+
+    Each OS invocation picks a service class from the workload mix, enters
+    the class's seed routine and walks the kernel graph to completion
+    (choosing the handler at the seed's dispatch block from the workload's
+    handler weights).  Between invocations the current application instance
+    runs; burst lengths self-regulate so the OS share of fetched words
+    converges to [workload.os_fraction].  Every [switch_period] invocations
+    a context switch (class [Other], handler 0) is forced and the next
+    runnable instance is scheduled. *)
+
+type stats = {
+  total_words : int;  (** Instruction words fetched. *)
+  os_words : int;
+  app_words : int;
+  invocations : int array;  (** Per service class. *)
+  context_switches : int;
+}
+
+type sink = {
+  on_exec : image:int -> block:Block.id -> unit;
+  on_arc : image:int -> arc:Arc.id -> unit;
+      (** Intra-routine arcs taken (profiling; not recorded in traces). *)
+  on_invocation_start : Service.t -> unit;
+  on_invocation_end : unit -> unit;
+}
+
+val null_sink : sink
+
+val trace_sink : Trace.t -> sink
+(** Records every event into the trace buffer. *)
+
+val combine_sinks : sink list -> sink
+
+val run :
+  program:Program.t -> workload:Workload.t -> words:int -> seed:int ->
+  sink:sink -> stats
+(** Generate at least [words] instruction words of trace.  Deterministic in
+    [seed] (and the program/workload contents). *)
+
+val capture :
+  program:Program.t -> workload:Workload.t -> words:int -> seed:int ->
+  Trace.t * stats
+(** {!run} into a fresh trace buffer. *)

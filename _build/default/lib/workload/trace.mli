@@ -1,0 +1,38 @@
+(** Compact block-level instruction traces.
+
+    An event is either the execution of a basic block of some image, or an
+    OS-invocation boundary marker (used by the temporal-locality analyses,
+    which reset across invocations, per Figure 7).  Events pack into single
+    OCaml ints, so a captured trace is one growable int array that can be
+    replayed against many layouts and cache configurations. *)
+
+type t
+
+type event =
+  | Exec of { image : int; block : Block.id }
+  | Invocation_start of Service.t
+  | Invocation_end
+
+val create : ?capacity:int -> unit -> t
+
+val append : t -> event -> unit
+
+val length : t -> int
+
+val get : t -> int -> event
+
+val iter : t -> (event -> unit) -> unit
+
+val iter_exec : t -> (image:int -> block:Block.id -> unit) -> unit
+(** Replay only block executions (the common fast path for cache
+    simulation). *)
+
+val raw : t -> int -> int
+(** The packed integer encoding of event [i] (for serialization). *)
+
+val append_raw : t -> int -> unit
+(** Append a packed event.  @raise Invalid_argument if the encoding is
+    not decodable. *)
+
+val events_to_list : t -> event list
+(** Testing aid; do not use on large traces. *)

@@ -1,0 +1,1 @@
+test/test_cache.ml: Alcotest Array Config Counters Gen Graph Helpers List Prng QCheck Replay Sim String System Trace

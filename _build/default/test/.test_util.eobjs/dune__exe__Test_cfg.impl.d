@@ -1,0 +1,1 @@
+test/test_cfg.ml: Alcotest Arc Array Block Dominators Graph Helpers List Loops Prng QCheck Routine

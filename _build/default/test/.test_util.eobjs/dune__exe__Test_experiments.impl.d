@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Arcstat Array Context Exp_fig12 Exp_fig14 Exp_fig15 Exp_fig16 Exp_fig3 Exp_fig7 Exp_table1 Helpers Lazy Levels List Service Speedup Stats

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Config Context Counters Experiments Helpers Lazy Levels List Model Printexc Profile Program Runner Schedule Seqstat Sequence Spec String System Trace

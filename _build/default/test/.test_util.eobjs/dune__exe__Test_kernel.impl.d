@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest App_model Arc Array Block Dist Fun Generator Graph Helpers Lazy List Loops Model Names Prng Routine_gen Service Spec String

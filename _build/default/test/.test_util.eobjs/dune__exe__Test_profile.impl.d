@@ -1,0 +1,1 @@
+test/test_profile.ml: Alcotest Arc Arcstat Array Context Graph Hashtbl Helpers Histogram Lazy List Loops Loopstat Popularity Profile Reuse Service Stats Trace

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Chart Dist Fun Gen Helpers Histogram List Prng QCheck Stats String Table

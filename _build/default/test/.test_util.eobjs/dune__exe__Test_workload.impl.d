@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest App_model Arc Array Block Engine Graph Helpers Lazy List Model Printf Prng Program Service Stats Trace Walker Workload

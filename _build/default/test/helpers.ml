@@ -1,0 +1,116 @@
+(* Shared fixtures for the test suites.
+
+   Expensive artifacts (the small synthetic kernel, a traced context) are
+   memoized so every suite in one executable reuses them. *)
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_close eps = Alcotest.(check (float eps))
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let check_raises_invalid name f =
+  match f () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+
+let case name f = Alcotest.test_case name `Quick f
+
+let qcheck cell = QCheck_alcotest.to_alcotest cell
+
+(* ------------------------------------------------------------------ *)
+(* Hand-built flow graphs.                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* One routine shaped as a diamond:
+     entry -> a (p=0.8) | b (p=0.2);  a -> exit;  b -> exit. *)
+type diamond = {
+  g : Graph.t;
+  routine : Routine.id;
+  entry : Block.id;
+  a : Block.id;
+  b : Block.id;
+  exit_ : Block.id;
+  arc_ea : Arc.id;
+  arc_eb : Arc.id;
+  arc_ax : Arc.id;
+  arc_bx : Arc.id;
+}
+
+let diamond () =
+  let bld = Graph.builder () in
+  let r = Graph.declare_routine bld "diamond" in
+  let blk size = Graph.add_block bld ~routine:r ~size () in
+  let entry = blk 16 in
+  let a = blk 24 in
+  let b = blk 8 in
+  let exit_ = blk 12 in
+  let arc_ea = Graph.add_arc bld ~src:entry ~dst:a Arc.Fallthrough in
+  let arc_eb = Graph.add_arc bld ~src:entry ~dst:b Arc.Taken in
+  let arc_ax = Graph.add_arc bld ~src:a ~dst:exit_ Arc.Fallthrough in
+  let arc_bx = Graph.add_arc bld ~src:b ~dst:exit_ Arc.Taken in
+  let g = Graph.freeze bld in
+  { g; routine = r; entry; a; b; exit_; arc_ea; arc_eb; arc_ax; arc_bx }
+
+(* Two routines: [caller] with a loop around a call to [callee].
+     c0 -> c1(header) -> c2(calls callee) -> c3 -> back to c1 | c4(exit)
+     callee: l0 -> l1. *)
+type loop_call = {
+  g : Graph.t;
+  caller : Routine.id;
+  callee : Routine.id;
+  c0 : Block.id;
+  c1 : Block.id;
+  c2 : Block.id;
+  c3 : Block.id;
+  c4 : Block.id;
+  l0 : Block.id;
+  l1 : Block.id;
+  back_edge : Arc.id;
+}
+
+let loop_call () =
+  let bld = Graph.builder () in
+  let caller = Graph.declare_routine bld "caller" in
+  let callee = Graph.declare_routine bld "callee" in
+  let blk ?call r size = Graph.add_block bld ~routine:r ~size ?call () in
+  let c0 = blk caller 16 in
+  let c1 = blk caller 16 in
+  let c2 = blk ~call:callee caller 16 in
+  let c3 = blk caller 16 in
+  let c4 = blk caller 16 in
+  let l0 = blk callee 16 in
+  let l1 = blk callee 16 in
+  ignore (Graph.add_arc bld ~src:c0 ~dst:c1 Arc.Fallthrough);
+  ignore (Graph.add_arc bld ~src:c1 ~dst:c2 Arc.Fallthrough);
+  ignore (Graph.add_arc bld ~src:c2 ~dst:c3 Arc.Fallthrough);
+  let back_edge = Graph.add_arc bld ~src:c3 ~dst:c1 Arc.Taken in
+  ignore (Graph.add_arc bld ~src:c3 ~dst:c4 Arc.Fallthrough);
+  ignore (Graph.add_arc bld ~src:l0 ~dst:l1 Arc.Fallthrough);
+  let g = Graph.freeze bld in
+  { g; caller; callee; c0; c1; c2; c3; c4; l0; l1; back_edge }
+
+(* A profile with explicit block/arc weights over a graph. *)
+let profile_of g block_weights arc_weights =
+  let p = Profile.empty g in
+  List.iter
+    (fun (b, w) ->
+      p.Profile.block.(b) <- w;
+      p.Profile.total_blocks <- p.Profile.total_blocks +. w)
+    block_weights;
+  List.iter (fun (a, w) -> p.Profile.arc.(a) <- w) arc_weights;
+  p
+
+(* ------------------------------------------------------------------ *)
+(* Memoized expensive fixtures.                                       *)
+(* ------------------------------------------------------------------ *)
+
+let small_model = lazy (Generator.generate Spec.small)
+let default_model = lazy (Generator.generate Spec.default)
+
+(* A traced context over the small kernel: fast enough for integration
+   tests, big enough that every region of the pipeline is exercised. *)
+let small_context =
+  lazy (Context.create ~spec:Spec.small ~words:150_000 ~seed:7 ())
+
+let full_context = lazy (Context.create ~words:400_000 ~seed:7 ())

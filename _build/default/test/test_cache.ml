@@ -1,0 +1,455 @@
+open Helpers
+
+(* ------------------------------------------------------------------ *)
+(* Config                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_config_make () =
+  let c = Config.make ~size_kb:8 () in
+  check_int "size" 8192 c.Config.size;
+  check_int "direct-mapped default" 1 c.Config.assoc;
+  check_int "32B lines default" 32 c.Config.line;
+  check_int "sets" 256 (Config.sets c)
+
+let test_config_assoc_sets () =
+  let c = Config.v ~size:8192 ~assoc:4 ~line:32 in
+  check_int "sets with associativity" 64 (Config.sets c)
+
+let test_config_validation () =
+  check_raises_invalid "non-power-of-two size" (fun () ->
+      Config.v ~size:3000 ~assoc:1 ~line:32);
+  check_raises_invalid "non-power-of-two assoc" (fun () ->
+      Config.v ~size:8192 ~assoc:3 ~line:32);
+  check_raises_invalid "non-power-of-two line" (fun () ->
+      Config.v ~size:8192 ~assoc:1 ~line:24);
+  check_raises_invalid "line bigger than cache" (fun () ->
+      Config.v ~size:32 ~assoc:1 ~line:64)
+
+let test_config_addr_math () =
+  let c = Config.v ~size:8192 ~assoc:1 ~line:32 in
+  check_int "line of addr" 3 (Config.line_of_addr c 96);
+  check_int "line of addr mid-line" 3 (Config.line_of_addr c 100);
+  check_int "set wraps" 0 (Config.set_of_line c 256);
+  check_bool "to_string mentions size" true
+    (String.length (Config.to_string c) > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Counters                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_counters_arith () =
+  let c = Counters.create () in
+  c.Counters.refs_os <- 100;
+  c.Counters.refs_app <- 50;
+  c.Counters.os_cold <- 1;
+  c.Counters.os_self <- 2;
+  c.Counters.os_cross <- 3;
+  c.Counters.app_cold <- 4;
+  c.Counters.app_self <- 5;
+  c.Counters.app_cross <- 6;
+  check_int "refs" 150 (Counters.refs c);
+  check_int "os misses" 6 (Counters.os_misses c);
+  check_int "app misses" 15 (Counters.app_misses c);
+  check_int "misses" 21 (Counters.misses c);
+  check_close 1e-9 "miss rate" (21.0 /. 150.0) (Counters.miss_rate c);
+  check_close 1e-9 "os miss rate" (6.0 /. 100.0) (Counters.os_miss_rate c);
+  let d = Counters.copy c in
+  Counters.add d c;
+  check_int "add doubles" 42 (Counters.misses d);
+  Counters.reset d;
+  check_int "reset zeroes" 0 (Counters.misses d);
+  check_close 1e-9 "empty miss rate" 0.0 (Counters.miss_rate d)
+
+(* ------------------------------------------------------------------ *)
+(* Sim                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let dm_1kb () = Sim.create (Config.v ~size:1024 ~assoc:1 ~line:32)
+
+let test_sim_miss_then_hit () =
+  let s = dm_1kb () in
+  Sim.access s ~os:true ~image:0 ~block:0 ~addr:0 ~bytes:16;
+  let c = Sim.counters s in
+  check_int "first access misses once" 1 (Counters.misses c);
+  check_int "cold classified" 1 c.Counters.os_cold;
+  Sim.access s ~os:true ~image:0 ~block:0 ~addr:0 ~bytes:16;
+  check_int "second access hits" 1 (Counters.misses (Sim.counters s));
+  check_int "refs counted in words" 8 (Counters.refs (Sim.counters s))
+
+let test_sim_block_spanning_lines () =
+  let s = dm_1kb () in
+  (* Bytes 16..95 span lines 0, 1 and 2 of 32 bytes. *)
+  Sim.access s ~os:true ~image:0 ~block:0 ~addr:16 ~bytes:80;
+  check_int "three line misses" 3 (Counters.misses (Sim.counters s));
+  check_bool "all three resident" true
+    (Sim.probe s ~addr:0 && Sim.probe s ~addr:32 && Sim.probe s ~addr:95)
+
+let test_sim_conflict_direct_mapped () =
+  let s = dm_1kb () in
+  (* Addresses 0 and 1024 share set 0 in a 1 KB direct-mapped cache. *)
+  Sim.access s ~os:true ~image:0 ~block:0 ~addr:0 ~bytes:4;
+  Sim.access s ~os:true ~image:0 ~block:1 ~addr:1024 ~bytes:4;
+  Sim.access s ~os:true ~image:0 ~block:0 ~addr:0 ~bytes:4;
+  let c = Sim.counters s in
+  check_int "three misses" 3 (Counters.misses c);
+  check_int "last one is self-interference" 1 c.Counters.os_self;
+  check_bool "victim no longer resident" false (Sim.probe s ~addr:1024)
+
+let test_sim_no_conflict_different_sets () =
+  let s = dm_1kb () in
+  Sim.access s ~os:true ~image:0 ~block:0 ~addr:0 ~bytes:4;
+  Sim.access s ~os:true ~image:0 ~block:1 ~addr:32 ~bytes:4;
+  Sim.access s ~os:true ~image:0 ~block:0 ~addr:0 ~bytes:4;
+  check_int "only two cold misses" 2 (Counters.misses (Sim.counters s))
+
+let test_sim_lru_two_way () =
+  let s = Sim.create (Config.v ~size:1024 ~assoc:2 ~line:32) in
+  (* Set 0 of a 2-way 1 KB cache: lines at 0, 512, 1024 all map there. *)
+  Sim.access s ~os:true ~image:0 ~block:0 ~addr:0 ~bytes:4;
+  Sim.access s ~os:true ~image:0 ~block:1 ~addr:512 ~bytes:4;
+  (* Touch 0 so 512 becomes LRU. *)
+  Sim.access s ~os:true ~image:0 ~block:0 ~addr:0 ~bytes:4;
+  Sim.access s ~os:true ~image:0 ~block:2 ~addr:1024 ~bytes:4;
+  check_bool "0 still resident (MRU)" true (Sim.probe s ~addr:0);
+  check_bool "512 evicted (LRU)" false (Sim.probe s ~addr:512);
+  check_bool "1024 resident" true (Sim.probe s ~addr:1024)
+
+let test_sim_fifo_no_refresh () =
+  (* Set 0 of a 2-way cache under FIFO: hits do not refresh, so the oldest
+     insertion is evicted even if it was just used. *)
+  let s = Sim.create (Config.with_policy (Config.v ~size:1024 ~assoc:2 ~line:32) Config.Fifo) in
+  Sim.access s ~os:true ~image:0 ~block:0 ~addr:0 ~bytes:4;
+  Sim.access s ~os:true ~image:0 ~block:1 ~addr:512 ~bytes:4;
+  (* Touch 0: under LRU this would protect it; FIFO ignores the hit. *)
+  Sim.access s ~os:true ~image:0 ~block:0 ~addr:0 ~bytes:4;
+  Sim.access s ~os:true ~image:0 ~block:2 ~addr:1024 ~bytes:4;
+  check_bool "oldest insertion (0) evicted despite the hit" false
+    (Sim.probe s ~addr:0);
+  check_bool "512 survives" true (Sim.probe s ~addr:512)
+
+let test_sim_random_deterministic () =
+  let run () =
+    let s =
+      Sim.create
+        (Config.with_policy (Config.v ~size:512 ~assoc:4 ~line:32) (Config.Random 7))
+    in
+    let g = Prng.of_int 99 in
+    for _ = 1 to 2000 do
+      Sim.access s ~os:true ~image:0 ~block:0 ~addr:(32 * Prng.int g 64) ~bytes:4
+    done;
+    Counters.misses (Sim.counters s)
+  in
+  check_int "same seed, same misses" (run ()) (run ());
+  let other =
+    let s =
+      Sim.create
+        (Config.with_policy (Config.v ~size:512 ~assoc:4 ~line:32) (Config.Random 8))
+    in
+    let g = Prng.of_int 99 in
+    for _ = 1 to 2000 do
+      Sim.access s ~os:true ~image:0 ~block:0 ~addr:(32 * Prng.int g 64) ~bytes:4
+    done;
+    Counters.misses (Sim.counters s)
+  in
+  check_bool "replacement-seed sensitivity" true (other <> run () || other = run ())
+
+let test_sim_random_fills_invalid_first () =
+  let s =
+    Sim.create
+      (Config.with_policy (Config.v ~size:1024 ~assoc:4 ~line:32) (Config.Random 3))
+  in
+  (* Four lines into one set of a 4-way cache: all must be resident. *)
+  List.iter
+    (fun addr -> Sim.access s ~os:true ~image:0 ~block:0 ~addr ~bytes:4)
+    [ 0; 256; 512; 768 ];
+  List.iter
+    (fun addr -> check_bool "resident" true (Sim.probe s ~addr))
+    [ 0; 256; 512; 768 ]
+
+let test_sim_policy_in_to_string () =
+  let c = Config.with_policy (Config.v ~size:8192 ~assoc:2 ~line:32) Config.Fifo in
+  check_bool "FIFO shown" true
+    (String.length (Config.to_string c) > String.length "8KB/2way/32B")
+
+let test_sim_cross_interference () =
+  let s = dm_1kb () in
+  Sim.access s ~os:false ~image:1 ~block:0 ~addr:0 ~bytes:4;
+  (* OS evicts the app line. *)
+  Sim.access s ~os:true ~image:0 ~block:0 ~addr:1024 ~bytes:4;
+  (* App misses again: cross-interference. *)
+  Sim.access s ~os:false ~image:1 ~block:0 ~addr:0 ~bytes:4;
+  let c = Sim.counters s in
+  check_int "app cross" 1 c.Counters.app_cross;
+  check_int "app cold" 1 c.Counters.app_cold;
+  check_int "os cold" 1 c.Counters.os_cold;
+  (* Now the app evicts the OS line back: OS cross. *)
+  Sim.access s ~os:true ~image:0 ~block:0 ~addr:1024 ~bytes:4;
+  check_int "os cross" 1 c.Counters.os_cross
+
+let test_sim_attribution () =
+  let s = dm_1kb () in
+  Sim.enable_block_attribution s ~images:2 ~blocks:[| 4; 4 |];
+  Sim.access s ~os:true ~image:0 ~block:2 ~addr:0 ~bytes:4;
+  Sim.access s ~os:true ~image:0 ~block:3 ~addr:1024 ~bytes:4;
+  Sim.access s ~os:true ~image:0 ~block:2 ~addr:0 ~bytes:4;
+  check_int "block 2 missed twice" 2 (Sim.block_misses s ~image:0).(2);
+  check_int "block 3 missed once" 1 (Sim.block_misses s ~image:0).(3);
+  check_int "block 2 self misses" 1 (Sim.block_misses_self s ~image:0).(2);
+  check_int "block 3 no self misses" 0 (Sim.block_misses_self s ~image:0).(3);
+  check_int "no cross misses" 0 (Sim.block_misses_cross s ~image:0).(2)
+
+let test_sim_attribution_disabled () =
+  let s = dm_1kb () in
+  check_raises_invalid "attribution off" (fun () -> Sim.block_misses s ~image:0)
+
+let test_sim_reset_counters_keeps_contents () =
+  let s = dm_1kb () in
+  Sim.access s ~os:true ~image:0 ~block:0 ~addr:0 ~bytes:4;
+  Sim.reset_counters s;
+  check_int "counters zeroed" 0 (Counters.misses (Sim.counters s));
+  Sim.access s ~os:true ~image:0 ~block:0 ~addr:0 ~bytes:4;
+  check_int "line still resident after reset_counters" 0
+    (Counters.misses (Sim.counters s))
+
+let test_sim_reset_empties () =
+  let s = dm_1kb () in
+  Sim.access s ~os:true ~image:0 ~block:0 ~addr:0 ~bytes:4;
+  Sim.reset s;
+  check_bool "line gone" false (Sim.probe s ~addr:0);
+  Sim.access s ~os:true ~image:0 ~block:0 ~addr:0 ~bytes:4;
+  check_int "misses again, as cold" 1 (Sim.counters s).Counters.os_cold
+
+let prop_misses_bounded_by_refs =
+  QCheck.Test.make ~name:"misses never exceed word references" ~count:100
+    QCheck.(pair small_int (list_of_size Gen.(1 -- 200) (pair (int_bound 4095) bool)))
+    (fun (_, accesses) ->
+      let s = Sim.create (Config.v ~size:512 ~assoc:2 ~line:16) in
+      List.iter
+        (fun (addr, os) ->
+          Sim.access s ~os ~image:(if os then 0 else 1) ~block:0
+            ~addr:(addr land lnot 3) ~bytes:4)
+        accesses;
+      let c = Sim.counters s in
+      Counters.misses c <= Counters.refs c)
+
+let prop_large_cache_no_conflicts =
+  QCheck.Test.make ~name:"cache larger than footprint only misses cold" ~count:50
+    QCheck.(list_of_size Gen.(1 -- 100) (int_bound 1023))
+    (fun addrs ->
+      let s = Sim.create (Config.v ~size:65536 ~assoc:1 ~line:32) in
+      List.iter
+        (fun addr -> Sim.access s ~os:true ~image:0 ~block:0 ~addr ~bytes:4)
+        addrs;
+      let c = Sim.counters s in
+      c.Counters.os_self = 0 && c.Counters.os_cross = 0)
+
+(* ------------------------------------------------------------------ *)
+(* System                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_system_unified () =
+  let sys = System.unified (Config.v ~size:1024 ~assoc:1 ~line:32) in
+  System.access sys ~os:true ~image:0 ~block:0 ~addr:0 ~bytes:4;
+  System.access sys ~os:true ~image:0 ~block:0 ~addr:0 ~bytes:4;
+  let c = System.counters sys in
+  check_int "one miss" 1 (Counters.misses c);
+  check_int "two word refs" 2 (Counters.refs c)
+
+let test_system_split_routes () =
+  let sys =
+    System.split
+      ~os:(Config.v ~size:1024 ~assoc:1 ~line:32)
+      ~app:(Config.v ~size:1024 ~assoc:1 ~line:32)
+  in
+  (* Same address from OS and app: separate caches, no interference. *)
+  System.access sys ~os:true ~image:0 ~block:0 ~addr:0 ~bytes:4;
+  System.access sys ~os:false ~image:1 ~block:0 ~addr:0 ~bytes:4;
+  System.access sys ~os:true ~image:0 ~block:0 ~addr:0 ~bytes:4;
+  System.access sys ~os:false ~image:1 ~block:0 ~addr:0 ~bytes:4;
+  let c = System.counters sys in
+  check_int "two cold misses only" 2 (Counters.misses c);
+  check_int "no cross interference" 0 (c.Counters.os_cross + c.Counters.app_cross)
+
+let test_system_reserved_routes () =
+  let sys =
+    System.reserved
+      ~hot:(Config.v ~size:512 ~assoc:1 ~line:32)
+      ~rest:(Config.v ~size:1024 ~assoc:1 ~line:32)
+      ~hot_limit:1024
+  in
+  (* OS below hot_limit goes to the hot cache; the same set in the rest
+     cache is untouched, so an app line there survives. *)
+  System.access sys ~os:false ~image:1 ~block:0 ~addr:0 ~bytes:4;
+  System.access sys ~os:true ~image:0 ~block:0 ~addr:0 ~bytes:4;
+  System.access sys ~os:false ~image:1 ~block:0 ~addr:0 ~bytes:4;
+  let c = System.counters sys in
+  check_int "no app re-miss" 2 (Counters.misses c);
+  (* OS above hot_limit goes to the rest cache and does evict the app. *)
+  System.access sys ~os:true ~image:0 ~block:1 ~addr:1024 ~bytes:4;
+  System.access sys ~os:false ~image:1 ~block:0 ~addr:0 ~bytes:4;
+  let c = System.counters sys in
+  check_int "app cross after rest-cache eviction" 1 c.Counters.app_cross
+
+let test_system_reset () =
+  let sys = System.unified (Config.v ~size:1024 ~assoc:1 ~line:32) in
+  System.access sys ~os:true ~image:0 ~block:0 ~addr:0 ~bytes:4;
+  System.reset_counters sys;
+  check_int "counters zero" 0 (Counters.misses (System.counters sys));
+  System.access sys ~os:true ~image:0 ~block:0 ~addr:0 ~bytes:4;
+  check_int "contents kept" 0 (Counters.misses (System.counters sys));
+  System.reset sys;
+  System.access sys ~os:true ~image:0 ~block:0 ~addr:0 ~bytes:4;
+  check_int "reset empties" 1 (Counters.misses (System.counters sys))
+
+let test_system_attribution () =
+  let sys = System.unified (Config.v ~size:1024 ~assoc:1 ~line:32) in
+  System.enable_block_attribution sys ~images:1 ~blocks:[| 2 |];
+  System.access sys ~os:true ~image:0 ~block:1 ~addr:0 ~bytes:4;
+  check_int "attributed" 1 (System.block_misses sys ~image:0).(1);
+  check_bool "describe non-empty" true (String.length (System.describe sys) > 0)
+
+let test_system_victim_swap () =
+  (* 1 KB direct-mapped main (32 sets) with a 2-line victim buffer.
+     Lines 0 and 1024 conflict in set 0: the ping-pong that costs the
+     plain cache a miss each time is absorbed by the buffer. *)
+  let main = Config.v ~size:1024 ~assoc:1 ~line:32 in
+  let sys = System.victim ~main ~entries:2 in
+  System.access sys ~os:true ~image:0 ~block:0 ~addr:0 ~bytes:4;
+  System.access sys ~os:true ~image:0 ~block:1 ~addr:1024 ~bytes:4;
+  (* Both cold so far; from now on the two lines swap via the buffer. *)
+  for _ = 1 to 10 do
+    System.access sys ~os:true ~image:0 ~block:0 ~addr:0 ~bytes:4;
+    System.access sys ~os:true ~image:0 ~block:1 ~addr:1024 ~bytes:4
+  done;
+  let c = System.counters sys in
+  check_int "only the two cold misses" 2 (Counters.misses c);
+  check_int "all references counted" 22 (Counters.refs c)
+
+let test_system_victim_capacity () =
+  (* Three conflicting lines against a 1-line buffer: the buffer cannot
+     hold the ping-pong set, so conflict misses persist. *)
+  let main = Config.v ~size:1024 ~assoc:1 ~line:32 in
+  let sys = System.victim ~main ~entries:1 in
+  let addrs = [ 0; 1024; 2048 ] in
+  List.iter (fun addr -> System.access sys ~os:true ~image:0 ~block:0 ~addr ~bytes:4) addrs;
+  for _ = 1 to 5 do
+    List.iter
+      (fun addr -> System.access sys ~os:true ~image:0 ~block:0 ~addr ~bytes:4)
+      addrs
+  done;
+  let c = System.counters sys in
+  check_bool "self-interference persists" true (c.Counters.os_self > 0)
+
+let test_system_victim_validation () =
+  check_raises_invalid "set-associative main rejected" (fun () ->
+      System.victim ~main:(Config.v ~size:1024 ~assoc:2 ~line:32) ~entries:4);
+  check_raises_invalid "zero entries rejected" (fun () ->
+      System.victim ~main:(Config.v ~size:1024 ~assoc:1 ~line:32) ~entries:0);
+  let sys = System.victim ~main:(Config.v ~size:1024 ~assoc:1 ~line:32) ~entries:4 in
+  check_raises_invalid "attribution unsupported" (fun () ->
+      System.enable_block_attribution sys ~images:1 ~blocks:[| 1 |])
+
+let test_system_victim_reset () =
+  let sys = System.victim ~main:(Config.v ~size:1024 ~assoc:1 ~line:32) ~entries:2 in
+  System.access sys ~os:true ~image:0 ~block:0 ~addr:0 ~bytes:4;
+  System.reset sys;
+  System.access sys ~os:true ~image:0 ~block:0 ~addr:0 ~bytes:4;
+  check_int "cold again after reset" 1 (System.counters sys).Counters.os_cold;
+  check_bool "victim described" true
+    (String.length (System.describe sys) > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Replay                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let replay_fixture () =
+  let lc = loop_call () in
+  let t = Trace.create () in
+  List.iter
+    (fun b -> Trace.append t (Trace.Exec { image = 0; block = b }))
+    [ lc.c0; lc.c1; lc.c2; lc.l0; lc.l1; lc.c3; lc.c4 ];
+  let n = Graph.block_count lc.g in
+  let map =
+    {
+      Replay.addr = [| Array.init n (fun b -> b * 16) |];
+      bytes = [| Array.make n 16 |];
+    }
+  in
+  (lc, t, map)
+
+let test_replay_run () =
+  let _, t, map = replay_fixture () in
+  let sys = System.unified (Config.v ~size:1024 ~assoc:1 ~line:32) in
+  Replay.run ~trace:t ~map ~systems:[ sys ];
+  let c = System.counters sys in
+  check_int "words fetched" (7 * 4) (Counters.refs c);
+  (* 7 blocks of 16 bytes over 32-byte lines from address 0: 4 lines. *)
+  check_int "cold misses only" 4 (Counters.misses c)
+
+let test_replay_multiple_systems () =
+  let _, t, map = replay_fixture () in
+  let a = System.unified (Config.v ~size:1024 ~assoc:1 ~line:32) in
+  let b = System.unified (Config.v ~size:1024 ~assoc:1 ~line:16) in
+  Replay.run ~trace:t ~map ~systems:[ a; b ];
+  check_int "both systems see all refs" (Counters.refs (System.counters a))
+    (Counters.refs (System.counters b));
+  check_int "16B lines mean more line misses" 7
+    (Counters.misses (System.counters b))
+
+let test_replay_warmup () =
+  let _, t, map = replay_fixture () in
+  let sys = System.unified (Config.v ~size:1024 ~assoc:1 ~line:32) in
+  (* Warm up over the whole trace: a second pass has no cold misses. *)
+  Replay.run_range ~trace:t ~map ~systems:[ sys ] ~warmup:(Trace.length t);
+  check_int "warmup discards all misses" 0 (Counters.misses (System.counters sys));
+  check_int "and all refs" 0 (Counters.refs (System.counters sys))
+
+let () =
+  Alcotest.run "cache"
+    [
+      ( "config",
+        [
+          case "make" test_config_make;
+          case "associative sets" test_config_assoc_sets;
+          case "validation" test_config_validation;
+          case "address math" test_config_addr_math;
+        ] );
+      ("counters", [ case "arithmetic" test_counters_arith ]);
+      ( "sim",
+        [
+          case "miss then hit" test_sim_miss_then_hit;
+          case "block spanning lines" test_sim_block_spanning_lines;
+          case "direct-mapped conflict" test_sim_conflict_direct_mapped;
+          case "different sets no conflict" test_sim_no_conflict_different_sets;
+          case "2-way LRU" test_sim_lru_two_way;
+          case "FIFO no refresh" test_sim_fifo_no_refresh;
+          case "random deterministic" test_sim_random_deterministic;
+          case "random fills invalid first" test_sim_random_fills_invalid_first;
+          case "policy in to_string" test_sim_policy_in_to_string;
+          case "cross interference" test_sim_cross_interference;
+          case "attribution" test_sim_attribution;
+          case "attribution disabled" test_sim_attribution_disabled;
+          case "reset_counters keeps contents" test_sim_reset_counters_keeps_contents;
+          case "reset empties" test_sim_reset_empties;
+          qcheck prop_misses_bounded_by_refs;
+          qcheck prop_large_cache_no_conflicts;
+        ] );
+      ( "system",
+        [
+          case "unified" test_system_unified;
+          case "split routes" test_system_split_routes;
+          case "reserved routes" test_system_reserved_routes;
+          case "reset" test_system_reset;
+          case "attribution" test_system_attribution;
+          case "victim swap" test_system_victim_swap;
+          case "victim capacity" test_system_victim_capacity;
+          case "victim validation" test_system_victim_validation;
+          case "victim reset" test_system_victim_reset;
+        ] );
+      ( "replay",
+        [
+          case "run" test_replay_run;
+          case "multiple systems" test_replay_multiple_systems;
+          case "warmup" test_replay_warmup;
+        ] );
+    ]

@@ -1,0 +1,132 @@
+open Helpers
+
+(* Whole-pipeline property tests: random kernel specifications and random
+   profiles must never break the generator's structural invariants or any
+   layout algorithm's placement invariants. *)
+
+(* Random scaled-down specs (kept small so each case is fast). *)
+let spec_gen =
+  QCheck.Gen.(
+    let* seed = 0 -- 10_000 in
+    let* leaf = 12 -- 16 in
+    let* sub = 6 -- 20 in
+    let* mid = 8 -- 30 in
+    let* h0 = 2 -- 5 and* h1 = 1 -- 4 and* h2 = 2 -- 8 and* h3 = 1 -- 3 in
+    let* cold = 10 -- 80 in
+    return
+      {
+        Spec.small with
+        Spec.seed;
+        leaf_count = leaf;
+        sub_mid_count = sub;
+        mid_count = mid;
+        handler_counts = [| h0; h1; h2; h3 |];
+        cold_count = cold;
+      })
+
+let spec_arb = QCheck.make ~print:(fun s -> Printf.sprintf "spec seed=%d" s.Spec.seed) spec_gen
+
+let prop_generator_invariants =
+  QCheck.Test.make ~name:"random specs generate well-formed kernels" ~count:30
+    spec_arb (fun spec ->
+      let m = Generator.generate spec in
+      let g = m.Model.graph in
+      (* Every routine non-empty with its entry in range. *)
+      Graph.iter_routines g (fun r ->
+          assert (Routine.block_count r > 0);
+          assert (Graph.routine_of_block g r.Routine.entry = r.Routine.id));
+      (* Arc probabilities well-formed. *)
+      Graph.iter_blocks g (fun b ->
+          let arcs = Graph.out_arcs g b.Block.id in
+          let sum = Array.fold_left (fun acc a -> acc +. m.Model.arc_prob.(a)) 0.0 arcs in
+          assert (Array.length arcs = 0 || sum <= 1.0 +. 1e-6));
+      (* Base order is a permutation. *)
+      let sorted = Array.copy m.Model.base_order in
+      Array.sort compare sorted;
+      sorted = Array.init (Graph.routine_count g) Fun.id)
+
+let prop_pipeline_layouts_valid =
+  QCheck.Test.make ~name:"random kernels: every layout places every block once"
+    ~count:10 spec_arb (fun spec ->
+      let m = Generator.generate spec in
+      let pairs = Workload.standard_programs m in
+      let w, program = pairs.(0) in
+      let profiles, sink = Profile.sinks ~program in
+      let _ = Engine.run ~program ~workload:w ~words:40_000 ~seed:spec.Spec.seed ~sink in
+      let p = profiles.(0) in
+      let g = m.Model.graph in
+      let loops = Loops.find g in
+      let check map =
+        Address_map.validate map;
+        Address_map.placed_count map = Graph.block_count g
+      in
+      check (Base.layout g ~order:m.Model.base_order)
+      && check (Chang_hwu.layout g p)
+      && check (Pettis_hansen.layout g p)
+      && check (Opt.os_layout ~model:m ~profile:p ~loops (Opt.params ())).Opt.map
+      && check
+           (Opt.os_layout ~model:m ~profile:p ~loops
+              (Opt.params ~extract_loops:true ()))
+             .Opt.map
+      && check (fst (Call_opt.layout ~model:m ~profile:p ())).Opt.map)
+
+let prop_sequences_cover_executed =
+  QCheck.Test.make ~name:"random kernels: sequences cover all executed blocks"
+    ~count:10 spec_arb (fun spec ->
+      let m = Generator.generate spec in
+      let pairs = Workload.standard_programs m in
+      let w, program = pairs.(1) in
+      let profiles, sink = Profile.sinks ~program in
+      let _ = Engine.run ~program ~workload:w ~words:40_000 ~seed:spec.Spec.seed ~sink in
+      let p = profiles.(0) in
+      let g = m.Model.graph in
+      let seqs =
+        Sequence.build ~graph:g ~profile:p
+          ~seed_entry:(fun c -> (Model.seed_for m c).Model.entry)
+          ~schedule:Schedule.paper ()
+      in
+      let covered = Sequence.covered g seqs in
+      let ok = ref true in
+      Graph.iter_blocks g (fun b ->
+          if Profile.executed p b.Block.id && not covered.(b.Block.id) then ok := false);
+      !ok)
+
+let prop_inline_engine_runs =
+  QCheck.Test.make ~name:"random kernels: inlined models still trace" ~count:8
+    spec_arb (fun spec ->
+      let m = Generator.generate spec in
+      let pairs = Workload.standard_programs m in
+      let w, program = pairs.(0) in
+      let profiles, sink = Profile.sinks ~program in
+      let _ = Engine.run ~program ~workload:w ~words:30_000 ~seed:1 ~sink in
+      let inlined, _ = Inline.transform ~model:m ~profile:profiles.(0) () in
+      let pairs' = Workload.standard_programs inlined in
+      let w', program' = pairs'.(0) in
+      let _, stats = Engine.capture ~program:program' ~workload:w' ~words:20_000 ~seed:2 in
+      stats.Engine.total_words >= 20_000)
+
+let prop_layout_file_roundtrip_random =
+  QCheck.Test.make ~name:"random kernels: layout files round-trip" ~count:8
+    spec_arb (fun spec ->
+      let m = Generator.generate spec in
+      let g = m.Model.graph in
+      let map = Base.layout g ~order:m.Model.base_order in
+      let map' = Layout_file.of_string ~graph:g (Layout_file.to_string ~graph:g map) in
+      let ok = ref true in
+      Graph.iter_blocks g (fun b ->
+          if Address_map.addr map b.Block.id <> Address_map.addr map' b.Block.id then
+            ok := false);
+      !ok)
+
+let () =
+  Alcotest.run "properties"
+    [
+      ( "pipeline",
+        [
+          qcheck prop_generator_invariants;
+          qcheck prop_pipeline_layouts_valid;
+          qcheck prop_sequences_cover_executed;
+          qcheck prop_inline_engine_runs;
+          qcheck prop_layout_file_roundtrip_random;
+        ] );
+    ]

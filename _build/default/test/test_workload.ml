@@ -1,0 +1,378 @@
+open Helpers
+
+let model () = Lazy.force small_model
+
+(* ------------------------------------------------------------------ *)
+(* Trace                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_trace_roundtrip () =
+  let t = Trace.create ~capacity:2 () in
+  let events =
+    [
+      Trace.Invocation_start Service.Interrupt;
+      Trace.Exec { image = 0; block = 42 };
+      Trace.Exec { image = 3; block = 0 };
+      Trace.Invocation_end;
+      Trace.Invocation_start Service.Syscall;
+      Trace.Exec { image = 1; block = 123_456 };
+      Trace.Invocation_end;
+    ]
+  in
+  List.iter (Trace.append t) events;
+  check_int "length" (List.length events) (Trace.length t);
+  List.iteri
+    (fun i e ->
+      check_bool (Printf.sprintf "event %d round-trips" i) true (Trace.get t i = e))
+    events;
+  check_bool "events_to_list" true (Trace.events_to_list t = events)
+
+let test_trace_capacity_growth () =
+  let t = Trace.create ~capacity:1 () in
+  for b = 0 to 999 do
+    Trace.append t (Trace.Exec { image = 0; block = b })
+  done;
+  check_int "grew to 1000" 1000 (Trace.length t);
+  check_bool "last intact" true (Trace.get t 999 = Trace.Exec { image = 0; block = 999 })
+
+let test_trace_iter_exec () =
+  let t = Trace.create () in
+  Trace.append t (Trace.Invocation_start Service.Other);
+  Trace.append t (Trace.Exec { image = 2; block = 7 });
+  Trace.append t (Trace.Invocation_end);
+  Trace.append t (Trace.Exec { image = 0; block = 9 });
+  let seen = ref [] in
+  Trace.iter_exec t (fun ~image ~block -> seen := (image, block) :: !seen);
+  check_bool "only exec events" true (List.rev !seen = [ (2, 7); (0, 9) ]);
+  let all = ref 0 in
+  Trace.iter t (fun _ -> incr all);
+  check_int "iter sees all" 4 !all
+
+(* ------------------------------------------------------------------ *)
+(* Walker                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let collect_walk ?choose g arc_prob start =
+  let w = Walker.create ~graph:g ~arc_prob ~prng:(Prng.of_int 5) ?choose () in
+  Walker.start w start;
+  let rec go acc =
+    match Walker.step w with None -> List.rev acc | Some b -> go (b :: acc)
+  in
+  go []
+
+let test_walker_follows_call () =
+  let lc = loop_call () in
+  (* Loop never repeats: back edge probability 0. *)
+  let arc_prob = Array.make (Graph.arc_count lc.g) 1.0 in
+  arc_prob.(lc.back_edge) <- 0.0;
+  let walk = collect_walk lc.g arc_prob lc.c0 in
+  check_bool "walk descends into callee and returns" true
+    (walk = [ lc.c0; lc.c1; lc.c2; lc.l0; lc.l1; lc.c3; lc.c4 ])
+
+let test_walker_loop_iterations () =
+  let lc = loop_call () in
+  let arc_prob = Array.make (Graph.arc_count lc.g) 1.0 in
+  (* Deterministic 100% back edge would never terminate; use choose to take
+     the back edge exactly twice. *)
+  let taken = ref 0 in
+  let choose _b (arcs : Arc.id array) =
+    if Array.exists (fun a -> a = lc.back_edge) arcs then begin
+      incr taken;
+      if !taken <= 2 then Some lc.back_edge
+      else Some (Array.to_list arcs |> List.find (fun a -> a <> lc.back_edge))
+    end
+    else None
+  in
+  let walk = collect_walk ~choose lc.g arc_prob lc.c0 in
+  let count b = List.length (List.filter (fun x -> x = b) walk) in
+  check_int "header executed 3 times" 3 (count lc.c1);
+  check_int "callee body executed 3 times" 3 (count lc.l0);
+  check_int "exit once" 1 (count lc.c4)
+
+let test_walker_active_depth () =
+  let lc = loop_call () in
+  let arc_prob = Array.make (Graph.arc_count lc.g) 1.0 in
+  arc_prob.(lc.back_edge) <- 0.0;
+  let w = Walker.create ~graph:lc.g ~arc_prob ~prng:(Prng.of_int 5) () in
+  check_bool "inactive before start" false (Walker.active w);
+  Walker.start w lc.c0;
+  check_bool "active after start" true (Walker.active w);
+  (* Step until we are inside the callee. *)
+  let rec step_until b =
+    match Walker.step w with
+    | Some x when x = b -> ()
+    | Some _ -> step_until b
+    | None -> Alcotest.fail "walk ended early"
+  in
+  step_until lc.l0;
+  check_bool "depth positive inside callee" true (Walker.depth w >= 1);
+  step_until lc.c4;
+  check_bool "drained" true (Walker.step w = None);
+  check_bool "inactive after completion" false (Walker.active w)
+
+let test_walker_on_arc () =
+  let d = diamond () in
+  let arc_prob = Array.make (Graph.arc_count d.g) 0.0 in
+  arc_prob.(d.arc_ea) <- 1.0;
+  arc_prob.(d.arc_ax) <- 1.0;
+  let arcs = ref [] in
+  let w =
+    Walker.create ~graph:d.g ~arc_prob ~prng:(Prng.of_int 5)
+      ~on_arc:(fun a -> arcs := a :: !arcs)
+      ()
+  in
+  Walker.start w d.entry;
+  let rec drain () = match Walker.step w with Some _ -> drain () | None -> () in
+  drain ();
+  check_bool "took the hot path arcs" true (List.rev !arcs = [ d.arc_ea; d.arc_ax ])
+
+let test_walker_probabilistic_split () =
+  let d = diamond () in
+  let arc_prob = Array.make (Graph.arc_count d.g) 1.0 in
+  arc_prob.(d.arc_ea) <- 0.7;
+  arc_prob.(d.arc_eb) <- 0.3;
+  let a_count = ref 0 and n = 5_000 in
+  let w = Walker.create ~graph:d.g ~arc_prob ~prng:(Prng.of_int 5) () in
+  for _ = 1 to n do
+    Walker.start w d.entry;
+    let rec drain () =
+      match Walker.step w with
+      | Some b ->
+          if b = d.a then incr a_count;
+          drain ()
+      | None -> ()
+    in
+    drain ()
+  done;
+  check_close 0.03 "split matches probabilities" 0.7
+    (float_of_int !a_count /. float_of_int n)
+
+(* ------------------------------------------------------------------ *)
+(* Workload / Program                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_workloads_standard () =
+  let m = model () in
+  let ws = Workload.standard m in
+  check_int "four workloads" 4 (Array.length ws);
+  Array.iter
+    (fun (w : Workload.t) ->
+      check_close 1e-9 "mix sums to 1" 1.0 (Stats.sum w.Workload.mix);
+      check_int "weights for each class" Service.count
+        (Array.length w.Workload.handler_weights);
+      check_bool "os fraction in (0,1]" true
+        (w.Workload.os_fraction > 0.0 && w.Workload.os_fraction <= 1.0);
+      Array.iteri
+        (fun ci hw ->
+          check_int "one weight per handler"
+            (Array.length m.Model.handlers.(ci))
+            (Array.length hw))
+        w.Workload.handler_weights)
+    ws
+
+let test_workload_characters () =
+  let m = model () in
+  let trfd = Workload.trfd_4 m and shell = Workload.shell m in
+  let ix s = Service.index s in
+  check_bool "TRFD_4 is interrupt dominated" true
+    (trfd.Workload.mix.(ix Service.Interrupt) > trfd.Workload.mix.(ix Service.Syscall));
+  check_bool "Shell is syscall dominated" true
+    (shell.Workload.mix.(ix Service.Syscall) > shell.Workload.mix.(ix Service.Interrupt));
+  check_float "TRFD_4 never syscalls" 0.0 (trfd.Workload.mix.(ix Service.Syscall));
+  check_bool "Shell runs no traced app" true
+    (Array.length shell.Workload.app_instances = 0 || shell.Workload.os_fraction = 1.0)
+
+let test_focused_weights () =
+  let g = Prng.of_int 9 in
+  let w = Workload.focused_weights g ~n:10 ~used:4 ~common_weight:0.5 in
+  check_int "length" 10 (Array.length w);
+  check_float "handler 0 gets the common weight" 0.5 w.(0);
+  let used = Array.fold_left (fun acc x -> if x > 0.0 then acc + 1 else acc) 0 w in
+  check_int "exactly [used] handlers weighted" 4 used;
+  Array.iter (fun x -> check_bool "weights non-negative" true (x >= 0.0)) w
+
+let test_program_images () =
+  let m = model () in
+  let apps = [| App_model.trfd () |] in
+  let p = Program.make ~os:m ~apps in
+  check_int "image count" 2 (Program.image_count p);
+  check_bool "os image" true (Program.is_os Program.os_image);
+  check_bool "app image" false (Program.is_os 1);
+  check_bool "os graph" true (Program.graph p 0 == m.Model.graph);
+  check_bool "app graph" true (Program.graph p 1 == apps.(0).App_model.graph);
+  check_raises_invalid "bad image" (fun () -> Program.graph p 2);
+  check_bool "image names differ" true
+    (Program.image_name p 0 <> Program.image_name p 1)
+
+let test_program_max_apps () =
+  let m = model () in
+  let apps = Array.init (Program.max_apps + 1) (fun _ -> App_model.trfd ()) in
+  check_raises_invalid "too many apps" (fun () -> Program.make ~os:m ~apps)
+
+let test_standard_programs () =
+  let m = model () in
+  let pairs = Workload.standard_programs m in
+  check_int "four pairs" 4 (Array.length pairs);
+  Array.iter
+    (fun ((w : Workload.t), (p : Program.t)) ->
+      Array.iter
+        (fun inst ->
+          check_bool "instance indexes a real image" true
+            (inst >= 1 && inst < Program.image_count p))
+        w.Workload.app_instances)
+    pairs
+
+(* ------------------------------------------------------------------ *)
+(* Engine                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let run_one ?(words = 60_000) ?(seed = 3) which =
+  let m = model () in
+  let pairs = Workload.standard_programs m in
+  let w, p = pairs.(which) in
+  (w, p, Engine.capture ~program:p ~workload:w ~words ~seed)
+
+let test_engine_word_budget () =
+  let _, _, (_, stats) = run_one 1 in
+  check_bool "at least the requested words" true (stats.Engine.total_words >= 60_000);
+  check_int "words add up" stats.Engine.total_words
+    (stats.Engine.os_words + stats.Engine.app_words)
+
+let test_engine_os_fraction () =
+  let w, _, (_, stats) = run_one 1 in
+  let actual =
+    float_of_int stats.Engine.os_words /. float_of_int stats.Engine.total_words
+  in
+  check_close 0.08 "OS share converges to target" w.Workload.os_fraction actual
+
+let test_engine_invocation_markers_balanced () =
+  let _, _, (trace, stats) = run_one 0 in
+  let starts = ref 0 and ends = ref 0 and depth_bad = ref false in
+  let depth = ref 0 in
+  Trace.iter trace (fun e ->
+      match e with
+      | Trace.Invocation_start _ ->
+          incr starts;
+          incr depth;
+          if !depth > 1 then depth_bad := true
+      | Trace.Invocation_end ->
+          incr ends;
+          decr depth;
+          if !depth < 0 then depth_bad := true
+      | Trace.Exec _ -> ());
+  check_bool "markers never nest or underflow" false !depth_bad;
+  check_bool "starts within one of ends" true (abs (!starts - !ends) <= 1);
+  check_int "stats count the invocations" !starts
+    (Array.fold_left ( + ) 0 stats.Engine.invocations)
+
+let test_engine_determinism () =
+  let _, _, (t1, s1) = run_one ~seed:5 2 in
+  let _, _, (t2, s2) = run_one ~seed:5 2 in
+  check_int "same trace length" (Trace.length t1) (Trace.length t2);
+  check_int "same total words" s1.Engine.total_words s2.Engine.total_words;
+  let same = ref true in
+  for i = 0 to Trace.length t1 - 1 do
+    if Trace.get t1 i <> Trace.get t2 i then same := false
+  done;
+  check_bool "identical event streams" true !same
+
+let test_engine_seed_changes_trace () =
+  let _, _, (_, s1) = run_one ~seed:5 2 in
+  let _, _, (_, s2) = run_one ~seed:6 2 in
+  check_bool "different seeds give different runs" true
+    (s1.Engine.total_words <> s2.Engine.total_words
+    || s1.Engine.os_words <> s2.Engine.os_words)
+
+let test_engine_mix_respected () =
+  let m = model () in
+  let pairs = Workload.standard_programs m in
+  let w, p = pairs.(0) in
+  (* TRFD_4: syscall share is 0; interrupts dominate. *)
+  let _, stats = Engine.capture ~program:p ~workload:w ~words:80_000 ~seed:3 in
+  let total = float_of_int (Array.fold_left ( + ) 0 stats.Engine.invocations) in
+  let share s =
+    float_of_int stats.Engine.invocations.(Service.index s) /. total
+  in
+  check_float "no syscalls in TRFD_4" 0.0 (share Service.Syscall);
+  check_bool "interrupts dominate" true (share Service.Interrupt > 0.5)
+
+let test_engine_context_switches () =
+  let m = model () in
+  let pairs = Workload.standard_programs m in
+  let w, p = pairs.(1) in
+  let _, stats = Engine.capture ~program:p ~workload:w ~words:80_000 ~seed:3 in
+  if w.Workload.switch_period > 0 then
+    check_bool "context switches happen" true (stats.Engine.context_switches > 0)
+
+let test_engine_trace_agrees_with_stats () =
+  let _, p, (trace, stats) = run_one 1 in
+  let os = ref 0 and app = ref 0 in
+  Trace.iter_exec trace (fun ~image ~block ->
+      let words = Block.instruction_words (Graph.block (Program.graph p image) block) in
+      if Program.is_os image then os := !os + words else app := !app + words);
+  check_int "os words agree" stats.Engine.os_words !os;
+  check_int "app words agree" stats.Engine.app_words !app
+
+let test_engine_combine_sinks () =
+  let m = model () in
+  let pairs = Workload.standard_programs m in
+  let w, p = pairs.(0) in
+  let execs = ref 0 and invs = ref 0 in
+  let counting =
+    {
+      Engine.on_exec = (fun ~image:_ ~block:_ -> incr execs);
+      on_arc = (fun ~image:_ ~arc:_ -> ());
+      on_invocation_start = (fun _ -> incr invs);
+      on_invocation_end = (fun () -> ());
+    }
+  in
+  let t = Trace.create () in
+  let sink = Engine.combine_sinks [ counting; Engine.trace_sink t ] in
+  let stats = Engine.run ~program:p ~workload:w ~words:30_000 ~seed:3 ~sink in
+  check_bool "counting sink saw execs" true (!execs > 0);
+  check_int "counting sink saw the invocations"
+    (Array.fold_left ( + ) 0 stats.Engine.invocations)
+    !invs;
+  let trace_execs = ref 0 in
+  Trace.iter_exec t (fun ~image:_ ~block:_ -> incr trace_execs);
+  check_int "both sinks saw the same stream" !execs !trace_execs
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "trace",
+        [
+          case "roundtrip" test_trace_roundtrip;
+          case "capacity growth" test_trace_capacity_growth;
+          case "iter_exec" test_trace_iter_exec;
+        ] );
+      ( "walker",
+        [
+          case "follows calls" test_walker_follows_call;
+          case "loop iterations via chooser" test_walker_loop_iterations;
+          case "active/depth" test_walker_active_depth;
+          case "on_arc callback" test_walker_on_arc;
+          case "probabilistic split" test_walker_probabilistic_split;
+        ] );
+      ( "workload",
+        [
+          case "standard set" test_workloads_standard;
+          case "paper characters" test_workload_characters;
+          case "focused weights" test_focused_weights;
+          case "program images" test_program_images;
+          case "max apps" test_program_max_apps;
+          case "standard programs" test_standard_programs;
+        ] );
+      ( "engine",
+        [
+          case "word budget" test_engine_word_budget;
+          case "os fraction" test_engine_os_fraction;
+          case "markers balanced" test_engine_invocation_markers_balanced;
+          case "determinism" test_engine_determinism;
+          case "seed sensitivity" test_engine_seed_changes_trace;
+          case "mix respected" test_engine_mix_respected;
+          case "context switches" test_engine_context_switches;
+          case "trace agrees with stats" test_engine_trace_agrees_with_stats;
+          case "combine sinks" test_engine_combine_sinks;
+        ] );
+    ]
