@@ -1,0 +1,22 @@
+.PHONY: all build test check bench clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# CI entry point: build, then run the tier-1 suite single-domain and
+# multi-domain so the determinism guarantee (parallel == sequential, see
+# test/test_parallel.ml) is exercised on every run.
+check: build
+	ICACHE_JOBS=1 dune runtest --force
+	ICACHE_JOBS=4 dune runtest --force
+
+bench:
+	dune exec bench/main.exe -- --no-timing
+
+clean:
+	dune clean

@@ -6,26 +6,56 @@
      dune exec bench/main.exe                 -- all experiments + timing
      dune exec bench/main.exe -- table1 fig12 -- selected experiments
      dune exec bench/main.exe -- --no-timing  -- skip the Bechamel section
-     ICACHE_WORDS=4000000 dune exec bench/main.exe -- longer traces *)
+     ICACHE_WORDS=4000000 dune exec bench/main.exe -- longer traces
+     ICACHE_JOBS=4 dune exec bench/main.exe     -- worker-domain count
+
+   Each experiment line reports wall-clock time and the Sim_cache hit/miss
+   delta, so redundant (layout, geometry) re-simulation shows up as hits. *)
 
 let words_from_env () =
   match Sys.getenv_opt "ICACHE_WORDS" with
   | Some s -> ( try int_of_string s with Failure _ -> 2_000_000)
   | None -> 2_000_000
 
+(* Wall clock, not Sys.time: with --jobs > 1 the cpu clock counts every
+   domain and would overstate the elapsed time we are trying to shrink. *)
+let wall = Unix.gettimeofday
+
 let run_experiments ctx ids =
-  match ids with
-  | [] -> Experiments.run_all ctx
-  | ids ->
-      List.iter
-        (fun id ->
-          match Experiments.find id with
-          | e -> e.Experiments.run ctx
-          | exception Not_found ->
-              Printf.printf "unknown experiment %S; known: %s\n" id
-                (String.concat ", "
-                   (List.map (fun e -> e.Experiments.id) Experiments.all)))
-        ids
+  let exps =
+    match ids with
+    | [] -> Experiments.all
+    | ids ->
+        List.filter_map
+          (fun id ->
+            match Experiments.find id with
+            | e -> Some e
+            | exception Not_found ->
+                Printf.printf "unknown experiment %S; known: %s\n" id
+                  (String.concat ", "
+                     (List.map (fun e -> e.Experiments.id) Experiments.all));
+                None)
+          ids
+  in
+  let t_suite = wall () in
+  List.iter
+    (fun (e : Experiments.t) ->
+      let h0 = Sim_cache.hits () and m0 = Sim_cache.misses () in
+      let t0 = wall () in
+      e.Experiments.run ctx;
+      Printf.printf "  [bench] %-12s %6.2fs wall   sim-cache %d hit / %d miss\n%!"
+        e.Experiments.id
+        (wall () -. t0)
+        (Sim_cache.hits () - h0)
+        (Sim_cache.misses () - m0))
+    exps;
+  Printf.printf
+    "\n=== %d experiments: %.2fs wall | sim-cache %d hits / %d misses (%.1f%% hit rate) | %d jobs ===\n%!"
+    (List.length exps)
+    (wall () -. t_suite)
+    (Sim_cache.hits ()) (Sim_cache.misses ())
+    (100.0 *. Sim_cache.hit_rate ())
+    (Parallel.default_jobs ())
 
 let timing ctx =
   let open Bechamel in
@@ -98,9 +128,10 @@ let () =
   let no_timing = List.mem "--no-timing" args in
   let ids = List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) args in
   let words = words_from_env () in
-  Printf.printf "Reproduction harness: %d instruction words per workload\n%!" words;
-  let t0 = Sys.time () in
+  Printf.printf "Reproduction harness: %d instruction words per workload, %d jobs\n%!"
+    words (Parallel.default_jobs ());
+  let t0 = wall () in
   let ctx = Context.create ~words () in
-  Printf.printf "context built in %.1fs (cpu)\n%!" (Sys.time () -. t0);
+  Printf.printf "context built in %.1fs (wall)\n%!" (wall () -. t0);
   run_experiments ctx ids;
   if not no_timing then timing ctx

@@ -20,7 +20,16 @@ let small_arg =
   let doc = "Use the scaled-down test kernel instead of the calibrated one." in
   Arg.(value & flag & info [ "small" ] ~doc)
 
-let make_context ~small ~words ~seed =
+let jobs_arg =
+  let doc =
+    "Worker domains for trace capture and simulation (default: \
+     $(b,ICACHE_JOBS) or the core count).  Results are identical for every \
+     value; only wall-clock changes."
+  in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let make_context ~small ~words ~seed ~jobs =
+  Option.iter Parallel.set_jobs jobs;
   let spec = if small then Spec.small else Spec.default in
   Context.create ~spec ~words ~seed ()
 
@@ -48,8 +57,8 @@ let repro_cmd =
     let doc = "Experiment ids (e.g. table1 fig12); all when omitted." in
     Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc)
   in
-  let run words seed small ids =
-    let ctx = make_context ~small ~words ~seed in
+  let run words seed small jobs ids =
+    let ctx = make_context ~small ~words ~seed ~jobs in
     match ids with
     | [] -> Experiments.run_all ctx
     | ids ->
@@ -64,7 +73,7 @@ let repro_cmd =
   in
   Cmd.v
     (Cmd.info "repro" ~doc:"Regenerate the paper's tables and figures")
-    Term.(const run $ words_arg $ seed_arg $ small_arg $ ids_arg)
+    Term.(const run $ words_arg $ seed_arg $ small_arg $ jobs_arg $ ids_arg)
 
 (* ------------------------------------------------------------------ *)
 (* simulate                                                           *)
@@ -91,7 +100,7 @@ let simulate_cmd =
     let doc = "Line size in bytes (power of two)." in
     Arg.(value & opt int 32 & info [ "line" ] ~docv:"BYTES" ~doc)
   in
-  let run words seed small w level size_kb assoc line =
+  let run words seed small jobs w level size_kb assoc line =
     let level =
       match String.lowercase_ascii level with
       | "base" -> Levels.Base
@@ -103,7 +112,7 @@ let simulate_cmd =
           Printf.eprintf "unknown level %S\n" other;
           exit 1
     in
-    let ctx = make_context ~small ~words ~seed in
+    let ctx = make_context ~small ~words ~seed ~jobs in
     if w < 0 || w >= Context.workload_count ctx then begin
       Printf.eprintf "workload index out of range\n";
       exit 1
@@ -130,8 +139,8 @@ let simulate_cmd =
   Cmd.v
     (Cmd.info "simulate" ~doc:"Simulate one workload / layout / cache combination")
     Term.(
-      const run $ words_arg $ seed_arg $ small_arg $ workload_arg $ level_arg
-      $ size_arg $ assoc_arg $ line_arg)
+      const run $ words_arg $ seed_arg $ small_arg $ jobs_arg $ workload_arg
+      $ level_arg $ size_arg $ assoc_arg $ line_arg)
 
 (* ------------------------------------------------------------------ *)
 (* layout                                                             *)
@@ -146,8 +155,8 @@ let layout_cmd =
     let doc = "Layout to emit: base, ch, opts or optl." in
     Arg.(value & opt string "opts" & info [ "l"; "level" ] ~docv:"LEVEL" ~doc)
   in
-  let run words seed small level out =
-    let ctx = make_context ~small ~words ~seed in
+  let run words seed small jobs level out =
+    let ctx = make_context ~small ~words ~seed ~jobs in
     let model = ctx.Context.model in
     let g = Context.os_graph ctx in
     let profile = ctx.Context.avg_os_profile in
@@ -176,7 +185,7 @@ let layout_cmd =
   in
   Cmd.v
     (Cmd.info "layout" ~doc:"Emit a kernel code placement as a linker-map-like file")
-    Term.(const run $ words_arg $ seed_arg $ small_arg $ level_arg $ out_arg)
+    Term.(const run $ words_arg $ seed_arg $ small_arg $ jobs_arg $ level_arg $ out_arg)
 
 (* ------------------------------------------------------------------ *)
 (* dot                                                                *)
@@ -191,8 +200,8 @@ let dot_cmd =
     let doc = "Output .dot file ('-' = stdout)." in
     Arg.(value & opt string "-" & info [ "o"; "output" ] ~docv:"FILE" ~doc)
   in
-  let run words seed small name out =
-    let ctx = make_context ~small ~words ~seed in
+  let run words seed small jobs name out =
+    let ctx = make_context ~small ~words ~seed ~jobs in
     let g = Context.os_graph ctx in
     let found = ref None in
     Graph.iter_routines g (fun r ->
@@ -217,7 +226,7 @@ let dot_cmd =
   in
   Cmd.v
     (Cmd.info "dot" ~doc:"Export one kernel routine's flow graph as Graphviz dot")
-    Term.(const run $ words_arg $ seed_arg $ small_arg $ routine_arg $ out_arg)
+    Term.(const run $ words_arg $ seed_arg $ small_arg $ jobs_arg $ routine_arg $ out_arg)
 
 (* ------------------------------------------------------------------ *)
 (* sweep                                                              *)
@@ -238,7 +247,7 @@ let sweep_cmd =
     let doc = "CSV output file ('-' = stdout)." in
     Arg.(value & opt string "-" & info [ "o"; "output" ] ~docv:"FILE" ~doc)
   in
-  let run words seed small sizes assocs lines levels out =
+  let run words seed small jobs sizes assocs lines levels out =
     let parse_level s =
       match String.lowercase_ascii s with
       | "base" -> Levels.Base
@@ -251,7 +260,7 @@ let sweep_cmd =
           exit 1
     in
     let levels = List.map parse_level levels in
-    let ctx = make_context ~small ~words ~seed in
+    let ctx = make_context ~small ~words ~seed ~jobs in
     let oc = if out = "-" then stdout else open_out out in
     Printf.fprintf oc
       "level,size_kb,assoc,line,workload,refs,misses,miss_rate,os_self,os_cross,app_self,app_cross\n";
@@ -294,8 +303,8 @@ let sweep_cmd =
     (Cmd.info "sweep"
        ~doc:"Cross-product cache/layout sweep, one CSV row per cell")
     Term.(
-      const run $ words_arg $ seed_arg $ small_arg $ sizes_arg $ assocs_arg
-      $ lines_arg $ levels_arg $ out_arg)
+      const run $ words_arg $ seed_arg $ small_arg $ jobs_arg $ sizes_arg
+      $ assocs_arg $ lines_arg $ levels_arg $ out_arg)
 
 (* ------------------------------------------------------------------ *)
 (* profile                                                            *)
@@ -306,8 +315,8 @@ let profile_cmd =
     let doc = "Write the averaged OS profile here ('-' = stdout)." in
     Arg.(value & opt string "-" & info [ "o"; "output" ] ~docv:"FILE" ~doc)
   in
-  let run words seed small out =
-    let ctx = make_context ~small ~words ~seed in
+  let run words seed small jobs out =
+    let ctx = make_context ~small ~words ~seed ~jobs in
     let g = Context.os_graph ctx in
     let p = ctx.Context.avg_os_profile in
     if out = "-" then Profile_file.write_channel stdout ~graph:g p
@@ -320,7 +329,7 @@ let profile_cmd =
   Cmd.v
     (Cmd.info "profile"
        ~doc:"Trace the four workloads and emit the averaged OS profile")
-    Term.(const run $ words_arg $ seed_arg $ small_arg $ out_arg)
+    Term.(const run $ words_arg $ seed_arg $ small_arg $ jobs_arg $ out_arg)
 
 (* ------------------------------------------------------------------ *)
 (* trace                                                              *)
@@ -358,8 +367,8 @@ let trace_cmd =
 (* ------------------------------------------------------------------ *)
 
 let characterize_cmd =
-  let run words seed small =
-    let ctx = make_context ~small ~words ~seed in
+  let run words seed small jobs =
+    let ctx = make_context ~small ~words ~seed ~jobs in
     let g = Context.os_graph ctx in
     Printf.printf "kernel: %d routines, %d blocks, %d bytes of code\n"
       (Graph.routine_count g) (Graph.block_count g) (Graph.code_bytes g);
@@ -377,7 +386,7 @@ let characterize_cmd =
   Cmd.v
     (Cmd.info "characterize"
        ~doc:"Summarize the kernel and the traced workloads")
-    Term.(const run $ words_arg $ seed_arg $ small_arg)
+    Term.(const run $ words_arg $ seed_arg $ small_arg $ jobs_arg)
 
 let () =
   let info =

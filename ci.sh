@@ -1,0 +1,6 @@
+#!/bin/sh
+# Tier-1 verification, run exactly as CI would: the full test suite under
+# both a single worker domain and four, proving parallel == sequential.
+set -eu
+cd "$(dirname "$0")"
+exec make check

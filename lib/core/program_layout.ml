@@ -90,3 +90,7 @@ let code_map t =
       bytes.(k + 1) <- Address_map.bytes_array m)
     t.app_maps;
   { Replay.addr; bytes }
+
+let digest t =
+  let m = code_map t in
+  Digest.to_hex (Digest.string (Marshal.to_string (m.Replay.addr, m.Replay.bytes) []))

@@ -49,5 +49,12 @@ val code_map : t -> Replay.code_map
 (** Absolute addresses: OS at 0, application image [k] at
     [app_region_base + (k-1) * app_region_stride]. *)
 
+val digest : t -> string
+(** Content digest of the placement exactly as the simulator consumes it
+    (the absolute {!code_map} addresses and block sizes, hex-encoded MD5).
+    Two layouts with equal digests replay identically under every cache
+    configuration, so the digest is a sound memoization key for simulation
+    results regardless of how or when the layout was built. *)
+
 val os_loops : Model.t -> Loops.t list
 (** Natural loops of the kernel graph (memoized per model). *)

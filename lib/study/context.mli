@@ -16,13 +16,20 @@ type t = {
       (** Average profile of an application across the workloads running
           it (physical identity of the app model). *)
   words : int;
+  key : string;
+      (** Trace identity: digest of (spec, words, seed).  Traces (and
+          hence every simulation result) are a pure function of these, so
+          the key content-addresses this context in {!Sim_cache} keys. *)
 }
 
-val create : ?spec:Spec.t -> ?words:int -> ?seed:int -> unit -> t
+val create : ?spec:Spec.t -> ?words:int -> ?seed:int -> ?jobs:int -> unit -> t
 (** Defaults: the calibrated kernel, 2 M instruction words per workload,
-    engine seed 11. *)
+    engine seed 11.  The per-workload trace captures run on up to [jobs]
+    domains (default {!Parallel.default_jobs}); the result is bit-identical
+    for every job count. *)
 
 val workload_count : t -> int
+val key : t -> string
 val workload_names : t -> string array
 val os_graph : t -> Graph.t
 val os_loops : t -> Loops.t list

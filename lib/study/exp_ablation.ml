@@ -35,9 +35,7 @@ let os_variant (ctx : Context.t) ?schedule ?follow_calls ?(params = Opt.params (
 
 let total_misses ctx layouts =
   let runs =
-    Runner.simulate ctx ~layouts
-      ~system:(fun () -> System.unified (Config.make ~size_kb:8 ()))
-      ()
+    Runner.simulate_config ctx ~layouts ~config:(Config.make ~size_kb:8 ()) ()
   in
   Counters.misses (Runner.total runs)
 

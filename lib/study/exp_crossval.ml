@@ -31,9 +31,7 @@ let compute (ctx : Context.t) =
             ~name:"xval" os_map ~os_meta:None)
         ctx.Context.pairs
     in
-    Runner.simulate ctx ~layouts
-      ~system:(fun () -> System.unified (Config.make ~size_kb:8 ()))
-      ()
+    Runner.simulate_config ctx ~layouts ~config:(Config.make ~size_kb:8 ()) ()
     |> Array.map (fun (r : Runner.run) -> Counters.misses r.Runner.counters)
   in
   let n = Context.workload_count ctx in

@@ -37,8 +37,7 @@ let compute (ctx : Context.t) =
   (* No warm-up discount on either side: the stack-distance pass counts
      every reference including cold ones, so the simulation must too. *)
   let dm layouts =
-    Runner.simulate ctx ~layouts
-      ~system:(fun () -> System.unified (Config.make ~size_kb:8 ()))
+    Runner.simulate_config ctx ~layouts ~config:(Config.make ~size_kb:8 ())
       ~warmup_fraction:0.0 ()
   in
   let base_dm = dm base_layouts in

@@ -11,12 +11,15 @@ type row = { workload : string; bars : bar array }
 let compute (ctx : Context.t) =
   let model = ctx.Context.model in
   let os_profile = ctx.Context.avg_os_profile in
-  let unified () = System.unified (Config.make ~size_kb:8 ()) in
+  let unified_config = Config.make ~size_kb:8 () in
   let base_runs =
-    Runner.simulate ctx ~layouts:(Levels.build ctx Levels.Base) ~system:unified ()
+    Runner.simulate_config ctx ~layouts:(Levels.build ctx Levels.Base)
+      ~config:unified_config ()
   in
   let opt_a_layouts = Levels.build ctx Levels.OptA in
-  let opt_a_runs = Runner.simulate ctx ~layouts:opt_a_layouts ~system:unified () in
+  let opt_a_runs =
+    Runner.simulate_config ctx ~layouts:opt_a_layouts ~config:unified_config ()
+  in
   (* Sep: both halves 4 KB; layouts optimized for 4 KB logical caches. *)
   let sep_layouts = Levels.build ctx ~params:(Opt.params ~cache_size:4096 ()) Levels.OptA in
   let sep_runs =
@@ -58,7 +61,9 @@ let compute (ctx : Context.t) =
         Program_layout.with_os_map l ~name:"Call" call_os.Opt.map ~os_meta:(Some call_os))
       opt_a_layouts
   in
-  let call_runs = Runner.simulate ctx ~layouts:call_layouts ~system:unified () in
+  let call_runs =
+    Runner.simulate_config ctx ~layouts:call_layouts ~config:unified_config ()
+  in
   Array.mapi
     (fun i (w, _) ->
       let base_total = Counters.misses base_runs.(i).Runner.counters in

@@ -67,9 +67,8 @@ let compute (ctx : Context.t) =
   (* Reference: plain OptS on the original kernel, original traces. *)
   let opt_layouts = Levels.build ctx Levels.OptS in
   let reference =
-    Runner.simulate ctx ~layouts:opt_layouts
-      ~system:(fun () -> System.unified (Config.make ~size_kb:8 ()))
-      ()
+    Runner.simulate_config ctx ~layouts:opt_layouts
+      ~config:(Config.make ~size_kb:8 ()) ()
   in
   let rows =
     Array.mapi

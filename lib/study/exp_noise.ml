@@ -47,9 +47,7 @@ let compute (ctx : Context.t) =
         ctx.Context.pairs
     in
     let runs =
-      Runner.simulate ctx ~layouts
-        ~system:(fun () -> System.unified (Config.make ~size_kb:8 ()))
-        ()
+      Runner.simulate_config ctx ~layouts ~config:(Config.make ~size_kb:8 ()) ()
     in
     Counters.misses (Runner.total runs)
   in

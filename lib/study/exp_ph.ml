@@ -35,9 +35,8 @@ let compute (ctx : Context.t) =
     List.map
       (fun name ->
         let runs =
-          Runner.simulate ctx ~layouts:(layouts_of name)
-            ~system:(fun () -> System.unified (Config.make ~size_kb:8 ()))
-            ()
+          Runner.simulate_config ctx ~layouts:(layouts_of name)
+            ~config:(Config.make ~size_kb:8 ()) ()
         in
         (name, Array.map (fun (r : Runner.run) -> Counters.miss_rate r.Runner.counters) runs))
       levels

@@ -17,7 +17,7 @@ let compute (ctx : Context.t) =
   let opt_layouts = Levels.build ctx Levels.OptS in
   let rates layouts policy =
     let config = Config.make ~size_kb:8 ~assoc:4 ~policy () in
-    Runner.simulate ctx ~layouts ~system:(fun () -> System.unified config) ()
+    Runner.simulate_config ctx ~layouts ~config ()
     |> Array.map (fun (r : Runner.run) -> Counters.miss_rate r.Runner.counters)
   in
   let per_policy =

@@ -13,9 +13,8 @@ let ratio_at ~spec ~seed words =
   let ctx = Context.create ~spec ~words ~seed () in
   let misses level =
     let runs =
-      Runner.simulate ctx ~layouts:(Levels.build ctx level)
-        ~system:(fun () -> System.unified (Config.make ~size_kb:8 ()))
-        ()
+      Runner.simulate_config ctx ~layouts:(Levels.build ctx level)
+        ~config:(Config.make ~size_kb:8 ()) ()
     in
     Counters.misses (Runner.total runs)
   in

@@ -28,12 +28,15 @@ let compute (ctx : Context.t) =
   let rates =
     List.map
       (fun (name, level, entries) ->
-        let system () =
+        let layouts = Levels.build ctx level in
+        let runs =
           match entries with
-          | None -> System.unified main
-          | Some entries -> System.victim ~main ~entries
+          | None -> Runner.simulate_config ctx ~layouts ~config:main ()
+          | Some entries ->
+              Runner.simulate ctx ~layouts
+                ~system:(fun () -> System.victim ~main ~entries)
+                ()
         in
-        let runs = Runner.simulate ctx ~layouts:(Levels.build ctx level) ~system () in
         (name, Array.map (fun (r : Runner.run) -> Counters.miss_rate r.Runner.counters) runs))
       setups
   in

@@ -9,7 +9,14 @@ let to_string = function
   | OptL -> "OptL"
   | OptA -> "OptA"
 
-let build (ctx : Context.t) ?(params = Opt.params ()) level =
+(* Layout construction is deterministic in (context, level, params) and
+   several experiments rebuild the same five levels, so memoize.  Layouts
+   are immutable once built (variants go through with_os_map, which
+   copies), so sharing one array across experiments is safe. *)
+let memo : (string, Program_layout.t array) Hashtbl.t = Hashtbl.create 16
+let memo_lock = Mutex.create ()
+
+let build_uncached (ctx : Context.t) ~params level =
   let model = ctx.Context.model in
   let os_profile = ctx.Context.avg_os_profile in
   Array.map
@@ -25,6 +32,19 @@ let build (ctx : Context.t) ?(params = Opt.params ()) level =
           in
           Program_layout.opt_a ~model ~program ~os_profile ~app_profiles ~params ())
     ctx.Context.pairs
+
+let build ctx ?(params = Opt.params ()) level =
+  let key =
+    Context.key ctx ^ "|" ^ to_string level ^ "|"
+    ^ Digest.to_hex (Digest.string (Marshal.to_string (params : Opt.params) []))
+  in
+  match Mutex.protect memo_lock (fun () -> Hashtbl.find_opt memo key) with
+  | Some layouts -> layouts
+  | None ->
+      let layouts = build_uncached ctx ~params level in
+      Mutex.protect memo_lock (fun () ->
+          if not (Hashtbl.mem memo key) then Hashtbl.add memo key layouts);
+      layouts
 
 let build_opt_s_with ctx ~params = build ctx ~params OptS
 

@@ -9,7 +9,10 @@ val all : level array
 val to_string : level -> string
 
 val build : Context.t -> ?params:Opt.params -> level -> Program_layout.t array
-(** One program layout per workload, in workload order. *)
+(** One program layout per workload, in workload order.  Memoized on
+    ({!Context.key}, level, params): experiments that rebuild the same
+    level share one layout array instead of re-running the placement
+    algorithms. *)
 
 val build_opt_s_with : Context.t -> params:Opt.params -> Program_layout.t array
 (** OptS with explicit parameters (SelfConfFree sweeps, cache-size

@@ -1,8 +1,13 @@
 type run = { counters : Counters.t; os_block_misses : int array }
 
+let default_warmup_fraction = 0.2
+
 let simulate (ctx : Context.t) ~layouts ~system ?(attribute_os = false)
-    ?(warmup_fraction = 0.2) () =
-  Array.mapi
+    ?(warmup_fraction = default_warmup_fraction) ?jobs () =
+  (* Each workload's replay is independent: a fresh System.t per slot, the
+     shared trace/layout data is immutable, and results merge by index —
+     so the output is bit-identical for every job count. *)
+  Parallel.map_array ?jobs
     (fun i (_w, program) ->
       let sys = system () in
       if attribute_os then begin
@@ -25,8 +30,37 @@ let simulate (ctx : Context.t) ~layouts ~system ?(attribute_os = false)
       })
     ctx.Context.pairs
 
-let simulate_config ctx ~layouts ~config ?(attribute_os = false) () =
-  simulate ctx ~layouts ~system:(fun () -> System.unified config) ~attribute_os ()
+let simulate_config ctx ~layouts ~config ?(attribute_os = false)
+    ?(warmup_fraction = default_warmup_fraction) ?jobs () =
+  (* Unified-cache runs are fully described by (trace identity, layout
+     digests, geometry, warm-up, attribution), so they memoize; arbitrary
+     [system] closures in [simulate] cannot be keyed and never cache. *)
+  let key =
+    Sim_cache.key ~context:(Context.key ctx)
+      ~layouts:(Array.map Program_layout.digest layouts)
+      ~config ~warmup_fraction ~attribute_os
+  in
+  match Sim_cache.find key with
+  | Some entries ->
+      Array.map
+        (fun (e : Sim_cache.entry) ->
+          { counters = e.counters; os_block_misses = e.os_block_misses })
+        entries
+  | None ->
+      let runs =
+        simulate ctx ~layouts
+          ~system:(fun () -> System.unified config)
+          ~attribute_os ~warmup_fraction ?jobs ()
+      in
+      Sim_cache.add key
+        (Array.map
+           (fun r ->
+             {
+               Sim_cache.counters = r.counters;
+               os_block_misses = r.os_block_misses;
+             })
+           runs);
+      runs
 
 let total runs =
   let acc = Counters.create () in

@@ -3,7 +3,13 @@
 
     A warm-up prefix of each trace fills the cache before counters start,
     matching the paper's mid-execution hardware traces ("misses caused by
-    first-time references are negligible"). *)
+    first-time references are negligible").
+
+    Workloads replay concurrently on up to [jobs] domains (default
+    {!Parallel.default_jobs}, i.e. [--jobs]/[ICACHE_JOBS] or the core
+    count).  Every domain owns a fresh {!System.t} and results merge in
+    workload order, so counters and per-block miss arrays are bit-identical
+    across job counts — [test/test_parallel.ml] asserts this. *)
 
 type run = {
   counters : Counters.t;
@@ -13,15 +19,20 @@ type run = {
 val simulate :
   Context.t -> layouts:Program_layout.t array ->
   system:(unit -> System.t) ->
-  ?attribute_os:bool -> ?warmup_fraction:float -> unit ->
+  ?attribute_os:bool -> ?warmup_fraction:float -> ?jobs:int -> unit ->
   run array
 (** One run per workload.  [system] builds a fresh cache system per
-    workload.  Default warm-up: the first 20% of events. *)
+    workload (it is called from worker domains, so it must not capture
+    shared mutable state).  Default warm-up: the first 20% of events. *)
 
 val simulate_config :
   Context.t -> layouts:Program_layout.t array -> config:Config.t ->
-  ?attribute_os:bool -> unit -> run array
-(** {!simulate} with a unified cache of the given geometry. *)
+  ?attribute_os:bool -> ?warmup_fraction:float -> ?jobs:int -> unit ->
+  run array
+(** {!simulate} with a unified cache of the given geometry, memoized in
+    {!Sim_cache}: re-simulating an identical (trace identity, layout
+    digests, geometry, attribution) combination returns the cached runs
+    (as fresh copies) instead of replaying. *)
 
 val total : run array -> Counters.t
 (** Sum of all workloads' counters. *)

@@ -1,0 +1,32 @@
+(** Deterministic fork-join parallelism over OCaml 5 domains.
+
+    The reproduction pipeline replays the same four workload traces through
+    dozens of cache configurations; the per-workload work is embarrassingly
+    parallel.  {!map_array} fans an indexed map out across worker domains
+    and writes each result into its own slot, so the output is bit-identical
+    to the sequential [Array.mapi] regardless of the domain count or
+    scheduling order — parallelism never changes results, only wall-clock.
+
+    The worker function must be domain-safe: it may freely read shared
+    immutable data (graphs, traces, layouts) but must not touch shared
+    mutable state.  Everything the simulator mutates ({!System.t} contents,
+    counters, walker state) is created per call, so trace capture and cache
+    replay both qualify. *)
+
+val default_jobs : unit -> int
+(** Worker-domain count used when a call does not pass [?jobs]: the last
+    {!set_jobs} value if any, else the [ICACHE_JOBS] environment variable,
+    else [Domain.recommended_domain_count ()].  Always at least 1. *)
+
+val set_jobs : int -> unit
+(** Override the process-wide default (e.g. from a [--jobs] flag).  Values
+    below 1 are clamped to 1. *)
+
+val map_array : ?jobs:int -> (int -> 'a -> 'b) -> 'a array -> 'b array
+(** [map_array ~jobs f arr] is [Array.mapi f arr] computed by up to [jobs]
+    domains ([default_jobs ()] when omitted; never more than
+    [Array.length arr]).  With one job (or on arrays of length <= 1) it runs
+    inline without spawning.  Indices are distributed round-robin, each slot
+    is written by exactly one domain, and all domains are joined before
+    returning.  If any application of [f] raises, the first exception (in
+    domain order) is re-raised after every domain has been joined. *)

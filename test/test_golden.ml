@@ -1,0 +1,78 @@
+open Helpers
+
+(* Golden regression tests: table1 and fig12, rendered through the
+   memoized runner, must match the checked-in transcripts byte for byte.
+   Memoization and parallelism can therefore never silently change paper
+   numbers — any drift fails loudly here.
+
+   To regenerate after an intended change:
+     ICACHE_GOLDEN_WRITE=$PWD/test/golden dune exec test/test_golden.exe
+   then inspect the diff and commit the new files. *)
+
+let capture f =
+  flush stdout;
+  let saved = Unix.dup Unix.stdout in
+  let tmp = Filename.temp_file "icache_golden" ".txt" in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o600 in
+  Unix.dup2 fd Unix.stdout;
+  Fun.protect
+    ~finally:(fun () ->
+      flush stdout;
+      Unix.dup2 saved Unix.stdout;
+      Unix.close saved;
+      Unix.close fd)
+    f;
+  let ic = open_in_bin tmp in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove tmp;
+  s
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let first_diff a b =
+  let n = min (String.length a) (String.length b) in
+  let i = ref 0 in
+  while !i < n && a.[!i] = b.[!i] do incr i done;
+  !i
+
+let golden name run () =
+  let out = capture (fun () -> run (Lazy.force small_context)) in
+  match Sys.getenv_opt "ICACHE_GOLDEN_WRITE" with
+  | Some dir ->
+      let path = Filename.concat dir (name ^ ".txt") in
+      let oc = open_out_bin path in
+      output_string oc out;
+      close_out oc;
+      Printf.eprintf "wrote %s (%d bytes)\n%!" path (String.length out)
+  | None ->
+      let path = Filename.concat "golden" (name ^ ".txt") in
+      if not (Sys.file_exists path) then
+        Alcotest.failf
+          "missing %s; regenerate with ICACHE_GOLDEN_WRITE=$PWD/test/golden" path;
+      let expect = read_file path in
+      if not (String.equal expect out) then begin
+        let at = first_diff expect out in
+        let context s =
+          let lo = max 0 (at - 60) in
+          String.sub s lo (min 120 (String.length s - lo))
+        in
+        Alcotest.failf
+          "%s drifted from %s at byte %d (%d vs %d bytes)\n--- golden ---\n%s\n--- got ---\n%s"
+          name path at (String.length expect) (String.length out)
+          (context expect) (context out)
+      end
+
+let () =
+  Alcotest.run "golden"
+    [
+      ( "experiment-output",
+        [
+          case "table1 matches checked-in transcript" (golden "table1" Exp_table1.run);
+          case "fig12 matches checked-in transcript" (golden "fig12" Exp_fig12.run);
+        ] );
+    ]

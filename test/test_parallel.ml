@@ -1,0 +1,167 @@
+open Helpers
+
+(* The determinism harness for the parallel runner: simulating with 1
+   domain and with N domains must be *bit-identical* — same counters,
+   same per-block miss arrays, same captured traces event for event.
+   Parallelism is only allowed to change wall-clock time, never results;
+   these tests are run under both ICACHE_JOBS=1 and =4 by `make check`. *)
+
+let config = Config.make ~size_kb:8 ()
+
+(* Two contexts over the same (spec, words, seed): one captured strictly
+   sequentially, one with four worker domains. *)
+let ctx_seq = lazy (Context.create ~spec:Spec.small ~words:100_000 ~seed:7 ~jobs:1 ())
+let ctx_par = lazy (Context.create ~spec:Spec.small ~words:100_000 ~seed:7 ~jobs:4 ())
+
+let check_counters name (a : Counters.t) (b : Counters.t) =
+  check_int (name ^ ": refs_os") a.Counters.refs_os b.Counters.refs_os;
+  check_int (name ^ ": refs_app") a.Counters.refs_app b.Counters.refs_app;
+  check_int (name ^ ": os_cold") a.Counters.os_cold b.Counters.os_cold;
+  check_int (name ^ ": os_self") a.Counters.os_self b.Counters.os_self;
+  check_int (name ^ ": os_cross") a.Counters.os_cross b.Counters.os_cross;
+  check_int (name ^ ": app_cold") a.Counters.app_cold b.Counters.app_cold;
+  check_int (name ^ ": app_self") a.Counters.app_self b.Counters.app_self;
+  check_int (name ^ ": app_cross") a.Counters.app_cross b.Counters.app_cross
+
+(* --- Runner.simulate: parallel == sequential ---------------------- *)
+
+let test_runner_determinism () =
+  let ctx = Lazy.force ctx_seq in
+  let layouts = Levels.build ctx Levels.OptS in
+  let simulate jobs =
+    (* Through the uncached [simulate] entry point, so every job count
+       actually replays rather than hitting Sim_cache. *)
+    Runner.simulate ctx ~layouts
+      ~system:(fun () -> System.unified config)
+      ~attribute_os:true ~jobs ()
+  in
+  let seq = simulate 1 in
+  check_int "one run per workload" (Context.workload_count ctx) (Array.length seq);
+  List.iter
+    (fun jobs ->
+      let par = simulate jobs in
+      check_int "same workload count" (Array.length seq) (Array.length par);
+      Array.iteri
+        (fun i (s : Runner.run) ->
+          let p = par.(i) in
+          let name = Printf.sprintf "workload %d, %d jobs" i jobs in
+          check_counters name s.Runner.counters p.Runner.counters;
+          check_bool (name ^ ": os_block_misses bit-identical") true
+            (s.Runner.os_block_misses = p.Runner.os_block_misses))
+        seq)
+    [ 2; 3; 4 ]
+
+let test_runner_totals () =
+  let ctx = Lazy.force ctx_seq in
+  let layouts = Levels.build ctx Levels.Base in
+  let totals jobs =
+    Runner.total
+      (Runner.simulate ctx ~layouts
+         ~system:(fun () -> System.unified config)
+         ~jobs ())
+  in
+  check_counters "merged totals" (totals 1) (totals 4)
+
+(* --- Context.create: parallel capture == sequential capture ------- *)
+
+let test_context_traces_identical () =
+  let a = Lazy.force ctx_seq and b = Lazy.force ctx_par in
+  check_int "same workload count" (Context.workload_count a)
+    (Context.workload_count b);
+  check_string "same context key" (Context.key a) (Context.key b);
+  Array.iteri
+    (fun i ta ->
+      let tb = b.Context.traces.(i) in
+      let name = Printf.sprintf "workload %d" i in
+      check_int (name ^ ": trace length") (Trace.length ta) (Trace.length tb);
+      let mismatch = ref (-1) in
+      for k = Trace.length ta - 1 downto 0 do
+        if Trace.raw ta k <> Trace.raw tb k then mismatch := k
+      done;
+      if !mismatch >= 0 then
+        Alcotest.failf "%s: traces diverge at event %d" name !mismatch)
+    a.Context.traces
+
+let test_context_stats_identical () =
+  let a = Lazy.force ctx_seq and b = Lazy.force ctx_par in
+  Array.iteri
+    (fun i (sa : Engine.stats) ->
+      let sb = b.Context.stats.(i) in
+      let name = Printf.sprintf "workload %d" i in
+      check_int (name ^ ": total words") sa.Engine.total_words sb.Engine.total_words;
+      check_int (name ^ ": os words") sa.Engine.os_words sb.Engine.os_words;
+      check_int (name ^ ": app words") sa.Engine.app_words sb.Engine.app_words;
+      check_int (name ^ ": context switches") sa.Engine.context_switches
+        sb.Engine.context_switches;
+      check_bool (name ^ ": invocation mix") true
+        (sa.Engine.invocations = sb.Engine.invocations))
+    a.Context.stats
+
+let test_context_profiles_identical () =
+  let a = Lazy.force ctx_seq and b = Lazy.force ctx_par in
+  Array.iteri
+    (fun i (pa : Profile.t) ->
+      let pb = b.Context.os_profiles.(i) in
+      let name = Printf.sprintf "workload %d" i in
+      check_bool (name ^ ": OS block weights") true (pa.Profile.block = pb.Profile.block);
+      check_bool (name ^ ": OS arc weights") true (pa.Profile.arc = pb.Profile.arc);
+      check_float (name ^ ": invocations") pa.Profile.invocations pb.Profile.invocations)
+    a.Context.os_profiles;
+  check_bool "averaged OS profile" true
+    (a.Context.avg_os_profile.Profile.block = b.Context.avg_os_profile.Profile.block)
+
+(* --- Sim_cache: memoized replay returns the same runs ------------- *)
+
+let test_sim_cache_roundtrip () =
+  let ctx = Lazy.force ctx_seq in
+  let layouts = Levels.build ctx Levels.CH in
+  let cfg = Config.make ~size_kb:4 () in
+  let r1 = Runner.simulate_config ctx ~layouts ~config:cfg ~attribute_os:true () in
+  let h0 = Sim_cache.hits () and m0 = Sim_cache.misses () in
+  let r2 = Runner.simulate_config ctx ~layouts ~config:cfg ~attribute_os:true () in
+  check_int "re-lookup is a hit" (h0 + 1) (Sim_cache.hits ());
+  check_int "re-lookup is not a miss" m0 (Sim_cache.misses ());
+  Array.iteri
+    (fun i (a : Runner.run) ->
+      let b = r2.(i) in
+      let name = Printf.sprintf "cached workload %d" i in
+      check_counters name a.Runner.counters b.Runner.counters;
+      check_bool (name ^ ": os_block_misses") true
+        (a.Runner.os_block_misses = b.Runner.os_block_misses))
+    r1
+
+let test_sim_cache_copies () =
+  let ctx = Lazy.force ctx_seq in
+  let layouts = Levels.build ctx Levels.CH in
+  let cfg = Config.make ~size_kb:4 () in
+  let r1 = Runner.simulate_config ctx ~layouts ~config:cfg () in
+  let refs_before = Counters.refs r1.(0).Runner.counters in
+  (* Mutating what a caller got back must not poison the cache. *)
+  Counters.reset r1.(0).Runner.counters;
+  let r2 = Runner.simulate_config ctx ~layouts ~config:cfg () in
+  check_int "cache unaffected by caller mutation" refs_before
+    (Counters.refs r2.(0).Runner.counters)
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "runner-determinism",
+        [
+          case "N domains == 1 domain (counters, per-block misses)"
+            test_runner_determinism;
+          case "merged totals identical across job counts" test_runner_totals;
+        ] );
+      ( "context-determinism",
+        [
+          case "parallel trace capture identical event-for-event"
+            test_context_traces_identical;
+          case "engine stats identical" test_context_stats_identical;
+          case "profiles identical" test_context_profiles_identical;
+        ] );
+      ( "sim-cache",
+        [
+          case "re-lookup hits and returns identical runs" test_sim_cache_roundtrip;
+          case "cached entries are isolated from caller mutation"
+            test_sim_cache_copies;
+        ] );
+    ]

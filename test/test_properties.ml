@@ -118,6 +118,81 @@ let prop_layout_file_roundtrip_random =
             ok := false);
       !ok)
 
+(* --- Sim_cache memo-key properties -------------------------------- *)
+
+(* The digest must separate placements exactly: equal iff the placement
+   the simulator consumes (absolute addresses and block sizes) is equal.
+   Distinct layouts of random kernels must therefore never conflate. *)
+let prop_digest_separates_layouts =
+  QCheck.Test.make ~name:"random kernels: layout digest equal iff placement equal"
+    ~count:10 spec_arb (fun spec ->
+      let m = Generator.generate spec in
+      let pairs = Workload.standard_programs m in
+      let w, program = pairs.(0) in
+      let profiles, sink = Profile.sinks ~program in
+      let _ = Engine.run ~program ~workload:w ~words:40_000 ~seed:spec.Spec.seed ~sink in
+      let p = profiles.(0) in
+      let layouts =
+        [
+          Program_layout.base ~model:m ~program;
+          Program_layout.chang_hwu ~model:m ~program ~os_profile:p;
+          Program_layout.opt_s ~model:m ~program ~os_profile:p ();
+          Program_layout.opt_l ~model:m ~program ~os_profile:p ();
+        ]
+      in
+      let placement l =
+        let map = Program_layout.code_map l in
+        (map.Replay.addr, map.Replay.bytes)
+      in
+      List.for_all
+        (fun a ->
+          List.for_all
+            (fun b ->
+              String.equal (Program_layout.digest a) (Program_layout.digest b)
+              = (placement a = placement b))
+            layouts)
+        layouts)
+
+(* Re-looking up a key already simulated must always hit and return the
+   identical runs, for any cache geometry and layout level. *)
+let prop_relookup_always_hits =
+  QCheck.Test.make ~name:"sim-cache: identical lookups always hit" ~count:8
+    QCheck.(
+      quad (oneofl [ 4; 8; 16 ]) (oneofl [ 1; 2 ]) (oneofl [ 16; 32 ])
+        (oneofl [ Levels.Base; Levels.CH; Levels.OptS ]))
+    (fun (size_kb, assoc, line, level) ->
+      let ctx = Lazy.force small_context in
+      let layouts = Levels.build ctx level in
+      let config = Config.make ~size_kb ~assoc ~line () in
+      let r1 = Runner.simulate_config ctx ~layouts ~config () in
+      let h0 = Sim_cache.hits () and m0 = Sim_cache.misses () in
+      let r2 = Runner.simulate_config ctx ~layouts ~config () in
+      Sim_cache.hits () = h0 + 1
+      && Sim_cache.misses () = m0
+      && Array.for_all2
+           (fun (a : Runner.run) (b : Runner.run) ->
+             a.Runner.counters = b.Runner.counters
+             && a.Runner.os_block_misses = b.Runner.os_block_misses)
+           r1 r2)
+
+(* Distinct geometries must key separately even when layouts coincide:
+   a geometry change can never return another geometry's runs. *)
+let prop_distinct_configs_distinct_keys =
+  QCheck.Test.make ~name:"sim-cache: distinct geometries never conflate" ~count:8
+    QCheck.(pair (oneofl [ 4; 8; 16; 32 ]) (oneofl [ 1; 2; 4 ]))
+    (fun (size_kb, assoc) ->
+      let ctx = Lazy.force small_context in
+      let layouts = Levels.build ctx Levels.Base in
+      let digests = Array.map Program_layout.digest layouts in
+      let key config =
+        Sim_cache.key ~context:(Context.key ctx) ~layouts:digests ~config
+          ~warmup_fraction:0.2 ~attribute_os:false
+      in
+      let k = key (Config.make ~size_kb ~assoc ()) in
+      let k' = key (Config.make ~size_kb:(2 * size_kb) ~assoc ()) in
+      let k'' = key (Config.make ~size_kb ~assoc ~policy:Config.Fifo ()) in
+      k <> k' && k <> k'' && k' <> k'')
+
 let () =
   Alcotest.run "properties"
     [
@@ -128,5 +203,11 @@ let () =
           qcheck prop_sequences_cover_executed;
           qcheck prop_inline_engine_runs;
           qcheck prop_layout_file_roundtrip_random;
+        ] );
+      ( "sim-cache",
+        [
+          qcheck prop_digest_separates_layouts;
+          qcheck prop_relookup_always_hits;
+          qcheck prop_distinct_configs_distinct_keys;
         ] );
     ]
