@@ -1,4 +1,4 @@
-.PHONY: all build test check bench clean
+.PHONY: all build test check validate bench clean
 
 all: build
 
@@ -14,6 +14,14 @@ test:
 check: build
 	ICACHE_JOBS=1 dune runtest --force
 	ICACHE_JOBS=4 dune runtest --force
+	$(MAKE) validate
+
+# End-to-end check of the structured output path: run the full repro as
+# JSON and make sure every report parses back and the run manifest's
+# invariants hold (stage seconds >= 0, sim-cache hits + misses = lookups).
+validate: build
+	_build/default/bin/icache_opt.exe repro --small --words 60000 --format json \
+	  | _build/default/bin/icache_opt.exe validate
 
 bench:
 	dune exec bench/main.exe -- --no-timing

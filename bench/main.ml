@@ -42,7 +42,7 @@ let run_experiments ctx ids =
     (fun (e : Experiments.t) ->
       let h0 = Sim_cache.hits () and m0 = Sim_cache.misses () in
       let t0 = wall () in
-      e.Experiments.run ctx;
+      Experiments.run e ctx;
       Printf.printf "  [bench] %-12s %6.2fs wall   sim-cache %d hit / %d miss\n%!"
         e.Experiments.id
         (wall () -. t0)
@@ -55,7 +55,14 @@ let run_experiments ctx ids =
     (wall () -. t_suite)
     (Sim_cache.hits ()) (Sim_cache.misses ())
     (100.0 *. Sim_cache.hit_rate ())
-    (Parallel.default_jobs ())
+    (Parallel.default_jobs ());
+  (* Machine-readable counterpart of the lines above: per-stage wall
+     clock, Sim_cache counters and per-experiment timings. *)
+  let manifest_path = "BENCH_repro.json" in
+  Out.with_file manifest_path (fun oc ->
+      output_string oc (Json.to_string (Manifest.to_json ()));
+      output_char oc '\n');
+  Printf.printf "run manifest written to %s\n%!" manifest_path
 
 let timing ctx =
   let open Bechamel in

@@ -2,9 +2,10 @@
 
    Subcommands:
      list         - list the reproduced tables and figures
-     repro        - run experiments (all, or by id)
+     repro        - run experiments (all, or by id); --format text|json|csv
      simulate     - simulate one workload/layout/cache combination
-     characterize - print the kernel and workload characterization *)
+     characterize - print the kernel and workload characterization
+     validate     - check a repro JSON document (reports + manifest) *)
 
 open Cmdliner
 
@@ -28,10 +29,31 @@ let jobs_arg =
   in
   Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
+(* Both converters funnel every CLI spelling through the library's single
+   parser, so the accepted names cannot drift between subcommands. *)
+let level_conv =
+  let parse s =
+    match Levels.of_string s with Ok l -> Ok l | Error e -> Error (`Msg e)
+  in
+  let print ppf l = Format.pp_print_string ppf (Levels.to_string l) in
+  Arg.conv ~docv:"LEVEL" (parse, print)
+
+let format_conv =
+  let parse s =
+    match Result.format_of_string s with Ok f -> Ok f | Error e -> Error (`Msg e)
+  in
+  let print ppf f = Format.pp_print_string ppf (Result.format_to_string f) in
+  Arg.conv ~docv:"FORMAT" (parse, print)
+
 let make_context ~small ~words ~seed ~jobs =
   Option.iter Parallel.set_jobs jobs;
   let spec = if small then Spec.small else Spec.default in
   Context.create ~spec ~words ~seed ()
+
+let write_manifest path =
+  Out.with_file path (fun oc ->
+      output_string oc (Json.to_string (Manifest.to_json ()));
+      output_char oc '\n')
 
 (* ------------------------------------------------------------------ *)
 (* list                                                               *)
@@ -57,23 +79,74 @@ let repro_cmd =
     let doc = "Experiment ids (e.g. table1 fig12); all when omitted." in
     Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc)
   in
-  let run words seed small jobs ids =
+  let format_arg =
+    let doc = "Output format: text (the classic transcript), json or csv." in
+    Arg.(value & opt format_conv Result.Text & info [ "format" ] ~docv:"FORMAT" ~doc)
+  in
+  let out_arg =
+    let doc =
+      "Write one file per experiment (ID.txt/ID.json/ID.csv) plus \
+       manifest.json into this directory instead of printing to stdout."
+    in
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"DIR" ~doc)
+  in
+  let run words seed small jobs format out ids =
     let ctx = make_context ~small ~words ~seed ~jobs in
-    match ids with
-    | [] -> Experiments.run_all ctx
-    | ids ->
+    let exps =
+      match ids with
+      | [] -> Experiments.all
+      | ids ->
+          List.map
+            (fun id ->
+              match Experiments.find id with
+              | e -> e
+              | exception Not_found ->
+                  Printf.eprintf "unknown experiment %S; try 'icache-opt list'\n" id;
+                  exit 1)
+            ids
+    in
+    match out with
+    | Some dir ->
+        (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
         List.iter
-          (fun id ->
-            match Experiments.find id with
-            | e -> e.Experiments.run ctx
-            | exception Not_found ->
-                Printf.eprintf "unknown experiment %S; try 'icache-opt list'\n" id;
-                exit 1)
-          ids
+          (fun e ->
+            let r = Experiments.compute e ctx in
+            let path =
+              Filename.concat dir (r.Result.id ^ "." ^ Result.extension format)
+            in
+            Out.with_file path (fun oc -> output_string oc (Result.render format r));
+            Printf.printf "wrote %s\n%!" path)
+          exps;
+        let mpath = Filename.concat dir "manifest.json" in
+        write_manifest mpath;
+        Printf.printf "wrote %s\n%!" mpath
+    | None -> (
+        match format with
+        | Result.Text -> List.iter (fun e -> Experiments.run e ctx) exps
+        | Result.Json ->
+            (* One document: every report plus the run manifest, so a
+               single pipe carries both the results and the provenance. *)
+            let reports = List.map (fun e -> Experiments.compute e ctx) exps in
+            let doc =
+              Json.Obj
+                [
+                  ("reports", Json.List (List.map Result.to_json reports));
+                  ("manifest", Manifest.to_json ());
+                ]
+            in
+            print_string (Json.to_string doc);
+            print_newline ()
+        | Result.Csv ->
+            List.iter
+              (fun e ->
+                print_string (Result.render Result.Csv (Experiments.compute e ctx)))
+              exps)
   in
   Cmd.v
     (Cmd.info "repro" ~doc:"Regenerate the paper's tables and figures")
-    Term.(const run $ words_arg $ seed_arg $ small_arg $ jobs_arg $ ids_arg)
+    Term.(
+      const run $ words_arg $ seed_arg $ small_arg $ jobs_arg $ format_arg
+      $ out_arg $ ids_arg)
 
 (* ------------------------------------------------------------------ *)
 (* simulate                                                           *)
@@ -86,7 +159,7 @@ let simulate_cmd =
   in
   let level_arg =
     let doc = "Layout level: base, ch, opts, optl or opta." in
-    Arg.(value & opt string "opts" & info [ "l"; "level" ] ~docv:"LEVEL" ~doc)
+    Arg.(value & opt level_conv Levels.OptS & info [ "l"; "level" ] ~docv:"LEVEL" ~doc)
   in
   let size_arg =
     let doc = "Cache size in KB (power of two)." in
@@ -101,17 +174,6 @@ let simulate_cmd =
     Arg.(value & opt int 32 & info [ "line" ] ~docv:"BYTES" ~doc)
   in
   let run words seed small jobs w level size_kb assoc line =
-    let level =
-      match String.lowercase_ascii level with
-      | "base" -> Levels.Base
-      | "ch" | "c-h" -> Levels.CH
-      | "opts" -> Levels.OptS
-      | "optl" -> Levels.OptL
-      | "opta" -> Levels.OptA
-      | other ->
-          Printf.eprintf "unknown level %S\n" other;
-          exit 1
-    in
     let ctx = make_context ~small ~words ~seed ~jobs in
     if w < 0 || w >= Context.workload_count ctx then begin
       Printf.eprintf "workload index out of range\n";
@@ -152,8 +214,8 @@ let layout_cmd =
     Arg.(value & opt string "-" & info [ "o"; "output" ] ~docv:"FILE" ~doc)
   in
   let level_arg =
-    let doc = "Layout to emit: base, ch, opts or optl." in
-    Arg.(value & opt string "opts" & info [ "l"; "level" ] ~docv:"LEVEL" ~doc)
+    let doc = "Layout to emit: base, ch, opts, optl or opta." in
+    Arg.(value & opt level_conv Levels.OptS & info [ "l"; "level" ] ~docv:"LEVEL" ~doc)
   in
   let run words seed small jobs level out =
     let ctx = make_context ~small ~words ~seed ~jobs in
@@ -161,27 +223,24 @@ let layout_cmd =
     let g = Context.os_graph ctx in
     let profile = ctx.Context.avg_os_profile in
     let map =
-      match String.lowercase_ascii level with
-      | "base" -> Base.layout g ~order:model.Model.base_order
-      | "ch" | "c-h" -> Chang_hwu.layout g profile
-      | "opts" ->
+      match level with
+      | Levels.Base -> Base.layout g ~order:model.Model.base_order
+      | Levels.CH -> Chang_hwu.layout g profile
+      | Levels.OptS | Levels.OptA ->
+          (* OptA differs from OptS only on the application images; the OS
+             map this subcommand emits is the same. *)
           (Opt.os_layout ~model ~profile ~loops:(Context.os_loops ctx)
              (Opt.params ()))
             .Opt.map
-      | "optl" ->
+      | Levels.OptL ->
           (Opt.os_layout ~model ~profile ~loops:(Context.os_loops ctx)
              (Opt.params ~extract_loops:true ()))
             .Opt.map
-      | other ->
-          Printf.eprintf "unknown level %S\n" other;
-          exit 1
     in
-    if out = "-" then Layout_file.write_channel stdout ~graph:g map
-    else begin
-      Layout_file.save out ~graph:g map;
+    Out.with_file out (fun oc -> Layout_file.write_channel oc ~graph:g map);
+    if out <> "-" then
       Printf.printf "wrote %s (%d blocks, extent %d bytes)\n" out
         (Address_map.placed_count map) (Address_map.extent map)
-    end
   in
   Cmd.v
     (Cmd.info "layout" ~doc:"Emit a kernel code placement as a linker-map-like file")
@@ -216,13 +275,8 @@ let dot_cmd =
             ~weights:ctx.Context.avg_os_profile.Profile.block
             ~loops:(Context.os_loops ctx) r
         in
-        if out = "-" then print_string s
-        else begin
-          let oc = open_out out in
-          output_string oc s;
-          close_out oc;
-          Printf.printf "wrote %s\n" out
-        end
+        Out.with_file out (fun oc -> output_string oc s);
+        if out <> "-" then Printf.printf "wrote %s\n" out
   in
   Cmd.v
     (Cmd.info "dot" ~doc:"Export one kernel routine's flow graph as Graphviz dot")
@@ -241,29 +295,30 @@ let sweep_cmd =
   let lines_arg = list_arg "lines" [ 32 ] "Line sizes in bytes." in
   let levels_arg =
     let doc = "Layout levels (base, ch, opts, optl, opta)." in
-    Arg.(value & opt (list string) [ "base"; "opts" ] & info [ "levels" ] ~docv:"L,..." ~doc)
+    Arg.(
+      value
+      & opt (list level_conv) [ Levels.Base; Levels.OptS ]
+      & info [ "levels" ] ~docv:"L,..." ~doc)
+  in
+  let format_arg =
+    let doc = "Output format: csv (default), json or text." in
+    Arg.(value & opt format_conv Result.Csv & info [ "format" ] ~docv:"FORMAT" ~doc)
   in
   let out_arg =
-    let doc = "CSV output file ('-' = stdout)." in
+    let doc = "Output file ('-' = stdout)." in
     Arg.(value & opt string "-" & info [ "o"; "output" ] ~docv:"FILE" ~doc)
   in
-  let run words seed small jobs sizes assocs lines levels out =
-    let parse_level s =
-      match String.lowercase_ascii s with
-      | "base" -> Levels.Base
-      | "ch" | "c-h" -> Levels.CH
-      | "opts" -> Levels.OptS
-      | "optl" -> Levels.OptL
-      | "opta" -> Levels.OptA
-      | other ->
-          Printf.eprintf "unknown level %S\n" other;
-          exit 1
-    in
-    let levels = List.map parse_level levels in
+  let run words seed small jobs sizes assocs lines levels format out =
     let ctx = make_context ~small ~words ~seed ~jobs in
-    let oc = if out = "-" then stdout else open_out out in
-    Printf.fprintf oc
-      "level,size_kb,assoc,line,workload,refs,misses,miss_rate,os_self,os_cross,app_self,app_cross\n";
+    let columns =
+      List.map
+        (fun h -> (h, Table.Left))
+        [
+          "level"; "size_kb"; "assoc"; "line"; "workload"; "refs"; "misses";
+          "miss_rate"; "os_self"; "os_cross"; "app_self"; "app_cross";
+        ]
+    in
+    let rows = ref [] in
     List.iter
       (fun level ->
         let layouts = Levels.build ctx level in
@@ -282,29 +337,41 @@ let sweep_cmd =
                     Array.iteri
                       (fun i (r : Runner.run) ->
                         let c = r.Runner.counters in
-                        Printf.fprintf oc "%s,%d,%d,%d,%s,%d,%d,%.6f,%d,%d,%d,%d\n"
-                          (Levels.to_string level) size_kb assoc line
-                          (Context.workload_names ctx).(i)
-                          (Counters.refs c) (Counters.misses c)
-                          (Counters.miss_rate c) c.Counters.os_self
-                          c.Counters.os_cross c.Counters.app_self
-                          c.Counters.app_cross)
+                        rows :=
+                          Table.Cells
+                            [
+                              Levels.to_string level;
+                              string_of_int size_kb;
+                              string_of_int assoc;
+                              string_of_int line;
+                              (Context.workload_names ctx).(i);
+                              string_of_int (Counters.refs c);
+                              string_of_int (Counters.misses c);
+                              Printf.sprintf "%.6f" (Counters.miss_rate c);
+                              string_of_int c.Counters.os_self;
+                              string_of_int c.Counters.os_cross;
+                              string_of_int c.Counters.app_self;
+                              string_of_int c.Counters.app_cross;
+                            ]
+                          :: !rows)
                       runs)
                   lines)
               assocs)
           sizes)
       levels;
-    if out <> "-" then begin
-      close_out oc;
-      Printf.printf "wrote %s\n" out
-    end
+    let report =
+      Result.report ~id:"sweep" ~section:"cache/layout sweep"
+        [ Result.Table { title = None; columns; rows = List.rev !rows } ]
+    in
+    Out.with_file out (fun oc -> output_string oc (Result.render format report));
+    if out <> "-" then Printf.printf "wrote %s\n" out
   in
   Cmd.v
     (Cmd.info "sweep"
        ~doc:"Cross-product cache/layout sweep, one CSV row per cell")
     Term.(
       const run $ words_arg $ seed_arg $ small_arg $ jobs_arg $ sizes_arg
-      $ assocs_arg $ lines_arg $ levels_arg $ out_arg)
+      $ assocs_arg $ lines_arg $ levels_arg $ format_arg $ out_arg)
 
 (* ------------------------------------------------------------------ *)
 (* profile                                                            *)
@@ -319,12 +386,10 @@ let profile_cmd =
     let ctx = make_context ~small ~words ~seed ~jobs in
     let g = Context.os_graph ctx in
     let p = ctx.Context.avg_os_profile in
-    if out = "-" then Profile_file.write_channel stdout ~graph:g p
-    else begin
-      Profile_file.save out ~graph:g p;
+    Out.with_file out (fun oc -> Profile_file.write_channel oc ~graph:g p);
+    if out <> "-" then
       Printf.printf "wrote %s (%d executed blocks, %.0f invocations)\n" out
         (Profile.executed_block_count p) p.Profile.invocations
-    end
   in
   Cmd.v
     (Cmd.info "profile"
@@ -388,6 +453,127 @@ let characterize_cmd =
        ~doc:"Summarize the kernel and the traced workloads")
     Term.(const run $ words_arg $ seed_arg $ small_arg $ jobs_arg)
 
+(* ------------------------------------------------------------------ *)
+(* validate                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let validate_cmd =
+  let file_arg =
+    let doc = "JSON document to validate ('-' = stdin)." in
+    Arg.(value & pos 0 string "-" & info [] ~docv:"FILE" ~doc)
+  in
+  let fail fmt =
+    Printf.ksprintf
+      (fun s ->
+        Printf.eprintf "invalid: %s\n" s;
+        exit 1)
+      fmt
+  in
+  let get_int what j =
+    match Json.to_int j with Some i -> i | None -> fail "%s: expected an integer" what
+  in
+  let get_float what j =
+    match Json.to_float j with Some f -> f | None -> fail "%s: expected a number" what
+  in
+  let get_str what j =
+    match Json.to_str j with Some s -> s | None -> fail "%s: expected a string" what
+  in
+  let check_manifest m =
+    (match Json.member "schema_version" m with
+    | Some v ->
+        let v = get_int "schema_version" v in
+        if v < 1 then fail "schema_version %d < 1" v
+    | None -> fail "manifest: missing schema_version");
+    let stages =
+      match Json.member "stages" m with
+      | Some (Json.List l) -> l
+      | _ -> fail "manifest: missing stages list"
+    in
+    List.iter
+      (fun s ->
+        let name =
+          match Json.member "name" s with
+          | Some n -> get_str "stage name" n
+          | None -> fail "stage: missing name"
+        in
+        let count =
+          match Json.member "count" s with
+          | Some c -> get_int "stage count" c
+          | None -> fail "stage %s: missing count" name
+        in
+        let seconds =
+          match Json.member "seconds" s with
+          | Some x -> get_float "stage seconds" x
+          | None -> fail "stage %s: missing seconds" name
+        in
+        if count < 1 then fail "stage %s: count %d < 1" name count;
+        if not (seconds >= 0.0) then fail "stage %s: seconds %g < 0" name seconds)
+      stages;
+    (match Json.member "sim_cache" m with
+    | Some sc ->
+        let g name =
+          match Json.member name sc with
+          | Some v -> get_int ("sim_cache " ^ name) v
+          | None -> fail "sim_cache: missing %s" name
+        in
+        let hits = g "hits" and misses = g "misses" and lookups = g "lookups" in
+        if hits < 0 || misses < 0 then fail "sim_cache: negative counters";
+        if hits + misses <> lookups then
+          fail "sim_cache: hits %d + misses %d <> lookups %d" hits misses lookups
+    | None -> fail "manifest: missing sim_cache");
+    (match Json.member "experiments" m with
+    | Some (Json.List l) ->
+        List.iter
+          (fun e ->
+            match Json.member "seconds" e with
+            | Some x ->
+                let s = get_float "experiment seconds" x in
+                if not (s >= 0.0) then fail "experiment seconds %g < 0" s
+            | None -> fail "experiment entry: missing seconds")
+          l
+    | _ -> fail "manifest: missing experiments list");
+    List.length stages
+  in
+  let run file =
+    let text =
+      if file = "-" then In_channel.input_all stdin
+      else In_channel.with_open_bin file In_channel.input_all
+    in
+    match Json.of_string text with
+    | Error e -> fail "%s" e
+    | Ok doc ->
+        let reports =
+          match Json.member "reports" doc with
+          | Some (Json.List l) -> l
+          | Some _ -> fail "reports: expected a list"
+          | None -> (
+              (* Also accept a single report document. *)
+              match Result.of_json doc with
+              | Ok _ -> [ doc ]
+              | Error _ -> fail "document has neither a reports list nor a report shape")
+        in
+        List.iteri
+          (fun i r ->
+            match Result.of_json r with
+            | Ok _ -> ()
+            | Error e -> fail "report %d: %s" i e)
+          reports;
+        let stage_count =
+          match Json.member "manifest" doc with
+          | Some m -> Some (check_manifest m)
+          | None -> None
+        in
+        (match stage_count with
+        | Some stages ->
+            Printf.printf "ok: %d report(s), manifest with %d stage(s)\n"
+              (List.length reports) stages
+        | None -> Printf.printf "ok: %d report(s), no manifest\n" (List.length reports))
+  in
+  Cmd.v
+    (Cmd.info "validate"
+       ~doc:"Validate a repro JSON document (reports parse, manifest invariants hold)")
+    Term.(const run $ file_arg)
+
 let () =
   let info =
     Cmd.info "icache-opt" ~version:"1.0.0"
@@ -398,4 +584,4 @@ let () =
   in
   exit (Cmd.eval (Cmd.group info
        [ list_cmd; repro_cmd; simulate_cmd; characterize_cmd; layout_cmd; dot_cmd;
-         profile_cmd; sweep_cmd; trace_cmd ]))
+         profile_cmd; sweep_cmd; trace_cmd; validate_cmd ]))

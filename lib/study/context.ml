@@ -7,7 +7,9 @@ type t = {
   app_profiles : Profile.t array array;
   avg_os_profile : Profile.t;
   avg_app_profile : App_model.t -> Profile.t;
+  spec : Spec.t;
   words : int;
+  seed : int;
   key : string;
 }
 
@@ -19,16 +21,17 @@ let create ?(spec = Spec.default) ?(words = 2_000_000) ?(seed = 11) ?jobs () =
      workload), so fan it out across domains.  Results land by index, so
      the context is bit-identical for every job count. *)
   let captures =
-    Parallel.map_array ?jobs
-      (fun i (w, program) ->
-        let trace = Trace.create ~capacity:(words / 4) () in
-        let profiles, profile_sink = Profile.sinks ~program in
-        let sink =
-          Engine.combine_sinks [ Engine.trace_sink trace; profile_sink ]
-        in
-        let s = Engine.run ~program ~workload:w ~words ~seed:(seed + i) ~sink in
-        (trace, s, profiles))
-      pairs
+    Manifest.time "trace_capture" (fun () ->
+        Parallel.map_array ?jobs
+          (fun i (w, program) ->
+            let trace = Trace.create ~capacity:(words / 4) () in
+            let profiles, profile_sink = Profile.sinks ~program in
+            let sink =
+              Engine.combine_sinks [ Engine.trace_sink trace; profile_sink ]
+            in
+            let s = Engine.run ~program ~workload:w ~words ~seed:(seed + i) ~sink in
+            (trace, s, profiles))
+          pairs)
   in
   let traces = Array.map (fun (t, _, _) -> t) captures in
   let stats = Array.map (fun (_, s, _) -> s) captures in
@@ -60,6 +63,11 @@ let create ?(spec = Spec.default) ?(words = 2_000_000) ?(seed = 11) ?jobs () =
     | None -> invalid_arg "Context.avg_app_profile: unknown application"
   in
   let key = Digest.to_hex (Digest.string (Marshal.to_string (spec, words, seed) [])) in
+  Manifest.set_run ~spec_seed:spec.Spec.seed
+    ~spec_digest:(Digest.to_hex (Digest.string (Marshal.to_string (spec : Spec.t) [])))
+    ~words ~seed
+    ~jobs:(match jobs with Some j -> j | None -> Parallel.default_jobs ())
+    ~context_key:key;
   {
     model;
     pairs;
@@ -69,7 +77,9 @@ let create ?(spec = Spec.default) ?(words = 2_000_000) ?(seed = 11) ?jobs () =
     app_profiles;
     avg_os_profile;
     avg_app_profile;
+    spec;
     words;
+    seed;
     key;
   }
 

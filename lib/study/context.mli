@@ -15,7 +15,9 @@ type t = {
   avg_app_profile : App_model.t -> Profile.t;
       (** Average profile of an application across the workloads running
           it (physical identity of the app model). *)
+  spec : Spec.t;  (** The kernel spec this context was generated from. *)
   words : int;
+  seed : int;  (** Engine seed (see {!create}). *)
   key : string;
       (** Trace identity: digest of (spec, words, seed).  Traces (and
           hence every simulation result) are a pure function of these, so

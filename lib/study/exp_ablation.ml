@@ -67,8 +67,7 @@ let compute (ctx : Context.t) =
   ]
   |> fun variants -> (base, variants)
 
-let run ctx =
-  Report.section "Ablation: removing one OptS ingredient at a time (8KB DM)";
+let report ctx =
   let base, variants = compute ctx in
   let t =
     Table.create
@@ -87,8 +86,14 @@ let run ctx =
           Table.cell_f v.vs_opt_s;
         ])
     variants;
-  Table.print t;
-  Report.note
-    "every ingredient should cost misses when removed; the threshold schedule and";
-  Report.note
-    "caller/callee interleaving are the paper's claimed advantages over C-H"
+  Result.report ~id:"ablation"
+    ~section:"Ablation: removing one OptS ingredient at a time (8KB DM)"
+    [
+      Result.of_table t;
+      Result.note
+        "every ingredient should cost misses when removed; the threshold schedule and";
+      Result.note
+        "caller/callee interleaving are the paper's claimed advantages over C-H";
+    ]
+
+let run ctx = Result.print (report ctx)

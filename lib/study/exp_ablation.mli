@@ -14,4 +14,7 @@ type variant = {
 val compute : Context.t -> int * variant list
 (** (Base misses, variants; the first variant is the full OptS). *)
 
+val report : Context.t -> Result.report
+(** Typed report whose text rendering is the classic transcript. *)
+
 val run : Context.t -> unit

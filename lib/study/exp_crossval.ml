@@ -48,8 +48,7 @@ let compute (ctx : Context.t) =
     average_row = Array.init n (fun j -> Stats.ratio avg.(j) own.(j));
   }
 
-let run ctx =
-  Report.section "Cross-validation: layout from one profile, evaluated on all";
+let report ctx =
   let r = compute ctx in
   let t =
     Table.create
@@ -64,9 +63,13 @@ let run ctx =
   Table.add_separator t;
   Table.add_row t
     ("average (paper)" :: Array.to_list (Array.map Table.cell_f r.average_row));
-  Table.print t;
-  Report.note
-    "1.00 on the diagonal by construction; off-diagonal near 1 = profiles";
-  Report.note
-    "transfer (the popular routines are shared, Figure 2); the averaged";
-  Report.note "profile is the safe choice the paper made"
+  Result.report ~id:"crossval"
+    ~section:"Cross-validation: layout from one profile, evaluated on all"
+    [
+      Result.of_table t;
+      Result.note "1.00 on the diagonal by construction; off-diagonal near 1 = profiles";
+      Result.note "transfer (the popular routines are shared, Figure 2); the averaged";
+      Result.note "profile is the safe choice the paper made";
+    ]
+
+let run ctx = Result.print (report ctx)

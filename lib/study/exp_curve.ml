@@ -53,8 +53,7 @@ let compute (ctx : Context.t) =
       })
     ctx.Context.pairs
 
-let run ctx =
-  Report.section "Stack distances: conflict vs capacity misses (8KB, 32B lines)";
+let report ctx =
   let rows = compute ctx in
   let t =
     Table.create
@@ -78,9 +77,13 @@ let run ctx =
         ];
       Table.add_separator t)
     rows;
-  Table.print t;
-  Report.note
-    "OptS attacks the conflict column: the simulated misses approach the";
-  Report.note
-    "fully-associative floor, and the floor itself drops as hot code packs";
-  Report.note "into fewer lines (the spatial-locality effect of sequences)"
+  Result.report ~id:"curve"
+    ~section:"Stack distances: conflict vs capacity misses (8KB, 32B lines)"
+    [
+      Result.of_table t;
+      Result.note "OptS attacks the conflict column: the simulated misses approach the";
+      Result.note "fully-associative floor, and the floor itself drops as hot code packs";
+      Result.note "into fewer lines (the spatial-locality effect of sequences)";
+    ]
+
+let run ctx = Result.print (report ctx)

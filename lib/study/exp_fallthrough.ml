@@ -47,8 +47,7 @@ let compute (ctx : Context.t) =
       })
     ctx.Context.pairs
 
-let run ctx =
-  Report.section "Fall-through rate of dynamic OS block transitions";
+let report ctx =
   let rows = compute ctx in
   let t =
     Table.create
@@ -61,7 +60,12 @@ let run ctx =
         (r.workload
         :: List.map (fun (_, rate) -> Table.cell_pct ~decimals:1 (100.0 *. rate)) r.rates))
     rows;
-  Table.print t;
-  Report.note
-    "layout straightens control flow: sequences turn the likely path into";
-  Report.note "straight-line fetches (the prefetch benefit behind Figure 17a)"
+  Result.report ~id:"fallthrough"
+    ~section:"Fall-through rate of dynamic OS block transitions"
+    [
+      Result.of_table t;
+      Result.note "layout straightens control flow: sequences turn the likely path into";
+      Result.note "straight-line fetches (the prefetch benefit behind Figure 17a)";
+    ]
+
+let run ctx = Result.print (report ctx)

@@ -7,4 +7,7 @@ type row = { workload : string; rates : (string * float) list }
 val rate : trace:Trace.t -> map:Replay.code_map -> float
 
 val compute : Context.t -> row array
+val report : Context.t -> Result.report
+(** Typed report whose text rendering is the classic transcript. *)
+
 val run : Context.t -> unit

@@ -36,17 +36,31 @@ let compute (ctx : Context.t) =
     top2_peak_pct = 100.0 *. Missmap.peak_fraction total_bins ~n:2;
   }
 
-let run ctx =
-  Report.section "Figure 1: OS miss-address distribution (TRFD+Make, 16KB DM)";
+let report ctx =
   let r = compute ctx in
-  Report.note "largest miss peaks (1KB bins of the Base address space):";
-  List.iter
-    (fun (bin, count) ->
-      if count > 0 then
-        Report.note "  addr %5dK: total %6d  self %6d  app-interf %6d" bin count
-          r.self_bins.(bin) r.cross_bins.(bin))
-    (Missmap.peaks r.total_bins ~n:8);
-  Report.note "self-interference share of OS misses: %.1f%%" r.self_pct;
-  Report.note "two largest peaks hold %.1f%% of OS misses" r.top2_peak_pct;
-  Report.paper "self-interference accounts for over 90% of OS misses in all workloads;";
-  Report.paper "the two dominant peaks hold 12.6% + 8.6% of OS misses in TRFD+Make"
+  let peaks =
+    List.filter_map
+      (fun (bin, count) ->
+        if count > 0 then
+          Some
+            (Result.note "  addr %5dK: total %6d  self %6d  app-interf %6d" bin count
+               r.self_bins.(bin) r.cross_bins.(bin))
+        else None)
+      (Missmap.peaks r.total_bins ~n:8)
+  in
+  Result.report ~id:"fig1"
+    ~section:"Figure 1: OS miss-address distribution (TRFD+Make, 16KB DM)"
+    ((Result.note "largest miss peaks (1KB bins of the Base address space):" :: peaks)
+    @ [
+        Result.scalar ~label:"self_interference_pct" ~value:r.self_pct
+          ~text:
+            (Printf.sprintf "self-interference share of OS misses: %.1f%%" r.self_pct);
+        Result.scalar ~label:"top2_peak_pct" ~value:r.top2_peak_pct
+          ~text:
+            (Printf.sprintf "two largest peaks hold %.1f%% of OS misses" r.top2_peak_pct);
+        Result.paper
+          "self-interference accounts for over 90% of OS misses in all workloads;";
+        Result.paper "the two dominant peaks hold 12.6% + 8.6% of OS misses in TRFD+Make";
+      ])
+
+let run ctx = Result.print (report ctx)

@@ -48,8 +48,7 @@ let compute (ctx : Context.t) =
       })
     ctx.Context.pairs
 
-let run ctx =
-  Report.section "Figure 12: misses by layout level (8KB DM, 32B lines)";
+let report ctx =
   let rows = compute ctx in
   let t =
     Table.create
@@ -79,6 +78,13 @@ let run ctx =
         r.bars;
       Table.add_separator t)
     rows;
-  Table.print t;
-  Report.paper "OS is 40-60% of refs (Shell ~100%); C-H drops misses to 0.43-0.62 of Base,";
-  Report.paper "OptS to 0.24-0.53 (25% below C-H); OptL ~ OptS; OptA another 4-19% lower"
+  Result.report ~id:"fig12" ~section:"Figure 12: misses by layout level (8KB DM, 32B lines)"
+    [
+      Result.of_table t;
+      Result.paper
+        "OS is 40-60% of refs (Shell ~100%); C-H drops misses to 0.43-0.62 of Base,";
+      Result.paper
+        "OptS to 0.24-0.53 (25% below C-H); OptL ~ OptS; OptA another 4-19% lower";
+    ]
+
+let run ctx = Result.print (report ctx)

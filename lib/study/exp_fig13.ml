@@ -65,8 +65,7 @@ let compute (ctx : Context.t) =
       })
     ctx.Context.pairs
 
-let run ctx =
-  Report.section "Figure 13: OS refs and misses by block region (8KB DM)";
+let report ctx =
   let rows = compute ctx in
   let t =
     Table.create
@@ -92,6 +91,13 @@ let run ctx =
         r.misses;
       Table.add_separator t)
     rows;
-  Table.print t;
-  Report.paper "MainSeq+SelfConfFree carry 50-65% of refs (Shell lower) and 67-83% of Base";
-  Report.paper "misses (33% Shell); loops cause almost no misses; OptS empties SelfConfFree misses"
+  Result.report ~id:"fig13" ~section:"Figure 13: OS refs and misses by block region (8KB DM)"
+    [
+      Result.of_table t;
+      Result.paper
+        "MainSeq+SelfConfFree carry 50-65% of refs (Shell lower) and 67-83% of Base";
+      Result.paper
+        "misses (33% Shell); loops cause almost no misses; OptS empties SelfConfFree misses";
+    ]
+
+let run ctx = Result.print (report ctx)

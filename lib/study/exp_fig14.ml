@@ -31,12 +31,21 @@ let compute (ctx : Context.t) =
       })
     [| Levels.Base; Levels.CH; Levels.OptS |]
 
-let run ctx =
-  Report.section "Figure 14: OS miss distribution by code position (sum of workloads, 8KB DM)";
+let report ctx =
   let results = compute ctx in
-  Array.iter
-    (fun r ->
-      Report.note "%-5s: total OS misses %8d; tallest 1KB peak %6d; top-5 peaks hold %.1f%%"
-        (Levels.to_string r.level) r.total r.tallest_peak r.top5_pct)
-    results;
-  Report.paper "C-H shrinks the Base peaks; OptS flattens them further, leaving only small peaks"
+  let per_level =
+    Array.to_list results
+    |> List.map (fun r ->
+           Result.note
+             "%-5s: total OS misses %8d; tallest 1KB peak %6d; top-5 peaks hold %.1f%%"
+             (Levels.to_string r.level) r.total r.tallest_peak r.top5_pct)
+  in
+  Result.report ~id:"fig14"
+    ~section:"Figure 14: OS miss distribution by code position (sum of workloads, 8KB DM)"
+    (per_level
+    @ [
+        Result.paper
+          "C-H shrinks the Base peaks; OptS flattens them further, leaving only small peaks";
+      ])
+
+let run ctx = Result.print (report ctx)

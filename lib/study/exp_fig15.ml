@@ -43,8 +43,7 @@ let compute (ctx : Context.t) =
     sizes;
   Array.of_list (List.rev !points)
 
-let run ctx =
-  Report.section "Figure 15: miss rates and speedups vs cache size (DM, 32B)";
+let report ctx =
   let points = compute ctx in
   let t =
     Table.create
@@ -67,6 +66,14 @@ let run ctx =
           Table.cell_f ~decimals:1 p.speedups.(2);
         ])
     points;
-  Table.print t;
-  Report.paper "Base 0.87-6.75%; C-H cuts 39-60%; OptS cuts a further 19-38% below C-H for";
-  Report.paper "4-16KB, ~equal at 32KB; 30-cycle penalty yields ~10-25% speed increase"
+  Result.report ~id:"fig15"
+    ~section:"Figure 15: miss rates and speedups vs cache size (DM, 32B)"
+    [
+      Result.of_table t;
+      Result.paper
+        "Base 0.87-6.75%; C-H cuts 39-60%; OptS cuts a further 19-38% below C-H for";
+      Result.paper
+        "4-16KB, ~equal at 32KB; 30-cycle penalty yields ~10-25% speed increase";
+    ]
+
+let run ctx = Result.print (report ctx)

@@ -56,11 +56,12 @@ let compute (ctx : Context.t) =
     [| 4; 8; 16 |];
   Array.of_list (List.rev !rows)
 
-let run ctx =
-  Report.section "Figure 16: SelfConfFree-area size sweep";
-  Array.iter
-    (fun (label, bytes) -> Report.note "cut-off %s -> SelfConfFree area of %d bytes" label bytes)
-    (scf_area_bytes ctx);
+let report ctx =
+  let areas =
+    Array.to_list (scf_area_bytes ctx)
+    |> List.map (fun (label, bytes) ->
+           Result.note "cut-off %s -> SelfConfFree area of %d bytes" label bytes)
+  in
   let rows = compute ctx in
   let t =
     Table.create
@@ -73,6 +74,13 @@ let run ctx =
         ([ Printf.sprintf "%dKB" r.size_kb; r.workload ]
         @ Array.to_list (Array.map (fun c -> Table.cell_f c.normalized) r.cells)))
     rows;
-  Table.print t;
-  Report.paper "paper areas: 0/376/1286/2514 bytes; the 2.0% cut-off (~1KB) wins most often;";
-  Report.paper "large areas favor 4KB caches, small ones 16KB caches"
+  Result.report ~id:"fig16" ~section:"Figure 16: SelfConfFree-area size sweep"
+    (areas
+    @ [
+        Result.of_table t;
+        Result.paper
+          "paper areas: 0/376/1286/2514 bytes; the 2.0% cut-off (~1KB) wins most often;";
+        Result.paper "large areas favor 4KB caches, small ones 16KB caches";
+      ])
+
+let run ctx = Result.print (report ctx)

@@ -15,4 +15,7 @@ val scf_area_bytes : Context.t -> (string * int) array
 
 val compute : Context.t -> row array
 
+val report : Context.t -> Result.report
+(** Typed report whose text rendering is the classic transcript. *)
+
 val run : Context.t -> unit

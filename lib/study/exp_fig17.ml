@@ -55,8 +55,7 @@ let average_reduction points ~label =
   in
   Stats.mean (Array.of_list reductions)
 
-let print_points title points =
-  Report.note "%s" title;
+let point_items title points =
   let t =
     Table.create
       [
@@ -74,19 +73,26 @@ let print_points title points =
           Table.cell_f ~decimals:3 p.opt_s_pct;
         ])
     points;
-  Table.print t
+  [ Result.note "%s" title; Result.of_table t ]
 
-let run ctx =
-  Report.section "Figure 17: line size and associativity sweeps (8KB cache)";
+let report ctx =
   let lines = compute_line_sizes ctx in
-  print_points "(a) line size, direct-mapped:" lines;
-  Report.note "OptS average reduction: %.0f%% @16B -> %.0f%% @128B"
-    (average_reduction lines ~label:"16B")
-    (average_reduction lines ~label:"128B");
   let assoc = compute_associativities ctx in
-  print_points "(b) associativity, 32B lines:" assoc;
-  Report.note "OptS average reduction: %.0f%% @1way -> %.0f%% @8way"
-    (average_reduction assoc ~label:"1way")
-    (average_reduction assoc ~label:"8way");
-  Report.paper "gains grow with line size (59% @16B -> 70% @128B) and shrink with";
-  Report.paper "associativity (55% DM -> 41% 8-way); DM OptS beats 8-way Base"
+  Result.report ~id:"fig17"
+    ~section:"Figure 17: line size and associativity sweeps (8KB cache)"
+    (point_items "(a) line size, direct-mapped:" lines
+    @ [
+        Result.note "OptS average reduction: %.0f%% @16B -> %.0f%% @128B"
+          (average_reduction lines ~label:"16B")
+          (average_reduction lines ~label:"128B");
+      ]
+    @ point_items "(b) associativity, 32B lines:" assoc
+    @ [
+        Result.note "OptS average reduction: %.0f%% @1way -> %.0f%% @8way"
+          (average_reduction assoc ~label:"1way")
+          (average_reduction assoc ~label:"8way");
+        Result.paper "gains grow with line size (59% @16B -> 70% @128B) and shrink with";
+        Result.paper "associativity (55% DM -> 41% 8-way); DM OptS beats 8-way Base";
+      ])
+
+let run ctx = Result.print (report ctx)

@@ -16,4 +16,7 @@ val compute_associativities : Context.t -> point array
 val average_reduction : point array -> label:string -> float
 (** Mean OptS miss reduction versus Base over the workloads at [label]. *)
 
+val report : Context.t -> Result.report
+(** Typed report whose text rendering is the classic transcript. *)
+
 val run : Context.t -> unit

@@ -87,8 +87,7 @@ let compute (ctx : Context.t) =
       })
     ctx.Context.pairs
 
-let run ctx =
-  Report.section "Figure 18: Sep / Resv / Call setups (8KB total, 32B lines)";
+let report ctx =
   let rows = compute ctx in
   let t =
     Table.create
@@ -114,6 +113,14 @@ let run ctx =
         r.bars;
       Table.add_separator t)
     rows;
-  Table.print t;
-  Report.paper "Sep increases misses over OptA everywhere; Resv is slightly worse than OptA";
-  Report.paper "(same performance, higher cost); Call raises OS misses 20-100% over OptA"
+  Result.report ~id:"fig18"
+    ~section:"Figure 18: Sep / Resv / Call setups (8KB total, 32B lines)"
+    [
+      Result.of_table t;
+      Result.paper
+        "Sep increases misses over OptA everywhere; Resv is slightly worse than OptA";
+      Result.paper
+        "(same performance, higher cost); Call raises OS misses 20-100% over OptA";
+    ]
+
+let run ctx = Result.print (report ctx)

@@ -15,4 +15,7 @@ type row = { workload : string; bars : bar array }
 
 val compute : Context.t -> row array
 
+val report : Context.t -> Result.report
+(** Typed report whose text rendering is the classic transcript. *)
+
 val run : Context.t -> unit

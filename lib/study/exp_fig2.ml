@@ -53,13 +53,26 @@ let overlap_pct results =
     Stats.mean (Array.of_list shares)
   end
 
-let run ctx =
-  Report.section "Figure 2: OS reference-address distribution per workload";
+let report ctx =
   let results = compute ctx in
-  Array.iter
-    (fun r ->
-      Report.note "%-10s: %d KB of address space touched; top-10 bins hold %.1f%% of refs"
-        r.workload r.touched_kb r.top10_pct)
-    results;
-  Report.note "top-20 peak bins referenced by every workload: %.0f%%" (overlap_pct results);
-  Report.paper "references are concentrated; peaks sit at similar addresses across workloads"
+  let overlap = overlap_pct results in
+  let per_workload =
+    Array.to_list results
+    |> List.map (fun r ->
+           Result.note
+             "%-10s: %d KB of address space touched; top-10 bins hold %.1f%% of refs"
+             r.workload r.touched_kb r.top10_pct)
+  in
+  Result.report ~id:"fig2"
+    ~section:"Figure 2: OS reference-address distribution per workload"
+    (per_workload
+    @ [
+        Result.scalar ~label:"top20_overlap_pct" ~value:overlap
+          ~text:
+            (Printf.sprintf "top-20 peak bins referenced by every workload: %.0f%%"
+               overlap);
+        Result.paper
+          "references are concentrated; peaks sit at similar addresses across workloads";
+      ])
+
+let run ctx = Result.print (report ctx)

@@ -15,4 +15,7 @@ val overlap_pct : result array -> float
 (** Share of each workload's busiest 20 bins also busy in every other
     workload (averaged) - the paper's "peaks are in similar positions". *)
 
+val report : Context.t -> Result.report
+(** Typed report whose text rendering is the classic transcript. *)
+
 val run : Context.t -> unit

@@ -10,8 +10,7 @@ let compute (ctx : Context.t) =
     le_01 = Arcstat.fraction_at_most bins 0.01;
   }
 
-let run ctx =
-  Report.section "Figure 3: outgoing-arc transition-probability distribution";
+let report ctx =
   let r = compute ctx in
   let series =
     Array.to_list r.bins
@@ -19,7 +18,15 @@ let run ctx =
            (Printf.sprintf "(%.2f,%.2f]" b.Arcstat.lo b.Arcstat.hi,
             float_of_int b.Arcstat.count))
   in
-  print_string (Chart.bars ~title:"  arcs per probability bin" series);
-  Report.note "arcs with probability >= 0.95: %.1f%%" (100.0 *. r.ge_99);
-  Report.note "arcs with probability <= 0.01: %.1f%%" (100.0 *. r.le_01);
-  Report.paper "73.6% of arcs have probability >= 0.99; 6.9% have <= 0.01 (bimodal)"
+  Result.report ~id:"fig3"
+    ~section:"Figure 3: outgoing-arc transition-probability distribution"
+    [
+      Result.series ~label:"  arcs per probability bin" series;
+      Result.scalar ~label:"arcs_ge_95_pct" ~value:(100.0 *. r.ge_99)
+        ~text:(Printf.sprintf "arcs with probability >= 0.95: %.1f%%" (100.0 *. r.ge_99));
+      Result.scalar ~label:"arcs_le_01_pct" ~value:(100.0 *. r.le_01)
+        ~text:(Printf.sprintf "arcs with probability <= 0.01: %.1f%%" (100.0 *. r.le_01));
+      Result.paper "73.6% of arcs have probability >= 0.99; 6.9% have <= 0.01 (bimodal)";
+    ]
+
+let run ctx = Result.print (report ctx)

@@ -40,17 +40,19 @@ let compute ctx =
     size_bins = Histogram.to_list size_hist;
   }
 
-let run ctx =
-  Report.section "Figure 4: loops without procedure calls";
+let report ctx =
   let r = compute ctx in
-  Report.note "executed loops without calls: %d" r.loop_count;
-  print_string
-    (Chart.bars ~title:"  iterations per invocation"
-       (List.map (fun (l, c) -> (l, float_of_int c)) r.iteration_bins));
-  print_string
-    (Chart.bars ~title:"  executed static size (bytes)"
-       (List.map (fun (l, c) -> (l, float_of_int c)) r.size_bins));
-  Report.note "loops with <= 6 iterations/invocation: %.0f%%" r.iters_le_6_pct;
-  Report.note "loops with <= 25 iterations/invocation: %.0f%%" r.iters_le_25_pct;
-  Report.note "largest executed loop body: %d bytes" r.max_size_bytes;
-  Report.paper "156 loops; 50% run <= 6 iterations, ~75% <= 25; largest spans 300 bytes"
+  Result.report ~id:"fig4" ~section:"Figure 4: loops without procedure calls"
+    [
+      Result.note "executed loops without calls: %d" r.loop_count;
+      Result.series ~label:"  iterations per invocation"
+        (List.map (fun (l, c) -> (l, float_of_int c)) r.iteration_bins);
+      Result.series ~label:"  executed static size (bytes)"
+        (List.map (fun (l, c) -> (l, float_of_int c)) r.size_bins);
+      Result.note "loops with <= 6 iterations/invocation: %.0f%%" r.iters_le_6_pct;
+      Result.note "loops with <= 25 iterations/invocation: %.0f%%" r.iters_le_25_pct;
+      Result.note "largest executed loop body: %d bytes" r.max_size_bytes;
+      Result.paper "156 loops; 50% run <= 6 iterations, ~75% <= 25; largest spans 300 bytes";
+    ]
+
+let run ctx = Result.print (report ctx)

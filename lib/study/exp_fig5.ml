@@ -38,17 +38,19 @@ let compute (ctx : Context.t) =
     size_bins = Histogram.to_list size_hist;
   }
 
-let run ctx =
-  Report.section "Figure 5: loops with procedure calls";
+let report ctx =
   let r = compute ctx in
-  Report.note "executed loops with calls: %d" r.loop_count;
-  print_string
-    (Chart.bars ~title:"  iterations per invocation"
-       (List.map (fun (l, c) -> (l, float_of_int c)) r.iteration_bins));
-  print_string
-    (Chart.bars ~title:"  executed static size incl. callees (bytes)"
-       (List.map (fun (l, c) -> (l, float_of_int c)) r.size_bins));
-  Report.note "loops with <= 10 iterations/invocation: %.0f%%" r.iters_le_10_pct;
-  Report.note "median executed size incl. callees: %.0f bytes (max %d)"
-    r.median_size_bytes r.max_size_bytes;
-  Report.paper "71 loops; usually <= 10 iterations; median size 2KB, a few above 16KB"
+  Result.report ~id:"fig5" ~section:"Figure 5: loops with procedure calls"
+    [
+      Result.note "executed loops with calls: %d" r.loop_count;
+      Result.series ~label:"  iterations per invocation"
+        (List.map (fun (l, c) -> (l, float_of_int c)) r.iteration_bins);
+      Result.series ~label:"  executed static size incl. callees (bytes)"
+        (List.map (fun (l, c) -> (l, float_of_int c)) r.size_bins);
+      Result.note "loops with <= 10 iterations/invocation: %.0f%%" r.iters_le_10_pct;
+      Result.note "median executed size incl. callees: %.0f bytes (max %d)"
+        r.median_size_bytes r.max_size_bytes;
+      Result.paper "71 loops; usually <= 10 iterations; median size 2KB, a few above 16KB";
+    ]
+
+let run ctx = Result.print (report ctx)

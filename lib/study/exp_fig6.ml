@@ -24,18 +24,24 @@ let compute (ctx : Context.t) =
       })
     ctx.Context.pairs
 
-let run ctx =
-  Report.section "Figure 6: routine invocation skew";
+let report ctx =
   let results = compute ctx in
-  Array.iter
-    (fun r ->
-      Report.note "%-10s: %3d routines invoked; top-5 take %.1f%%, top-20 take %.1f%%"
-        r.workload r.executed_routines r.top5_pct r.top20_pct)
-    results;
   let union =
     let g = Context.os_graph ctx in
     let p = Profile.average (Array.to_list ctx.Context.os_profiles) in
     Popularity.routine_series p g
   in
-  Report.note "union of workloads: %d distinct routines executed" (Array.length union);
-  Report.paper "about 600 routines executed; a few account for most invocations"
+  let per_workload =
+    Array.to_list results
+    |> List.map (fun r ->
+           Result.note "%-10s: %3d routines invoked; top-5 take %.1f%%, top-20 take %.1f%%"
+             r.workload r.executed_routines r.top5_pct r.top20_pct)
+  in
+  Result.report ~id:"fig6" ~section:"Figure 6: routine invocation skew"
+    (per_workload
+    @ [
+        Result.note "union of workloads: %d distinct routines executed" (Array.length union);
+        Result.paper "about 600 routines executed; a few account for most invocations";
+      ])
+
+let run ctx = Result.print (report ctx)

@@ -31,14 +31,18 @@ let compute (ctx : Context.t) =
     top_routines = List.map (Model.routine_name ctx.Context.model) routines;
   }
 
-let run ctx =
-  Report.section "Figure 7: temporal reuse of the 10 hottest routines";
+let report ctx =
   let r = compute ctx in
-  Report.note "top routines: %s" (String.concat ", " r.top_routines);
-  print_string
-    (Chart.bars ~title:"  words between consecutive calls (same OS invocation)"
-       (List.map (fun (l, c) -> (l, float_of_int c)) r.bins));
-  Report.note "called again within 100 words: %.0f%% of calls" r.within_100_pct;
-  Report.note "called again within 1000 words: %.0f%% of calls" r.within_1000_pct;
-  Report.note "not called again in same invocation: %.0f%%" r.last_inv_pct;
-  Report.paper "~25% of calls recur within 100 words, ~70% within 1000; ~9% are last in invocation"
+  Result.report ~id:"fig7" ~section:"Figure 7: temporal reuse of the 10 hottest routines"
+    [
+      Result.note "top routines: %s" (String.concat ", " r.top_routines);
+      Result.series ~label:"  words between consecutive calls (same OS invocation)"
+        (List.map (fun (l, c) -> (l, float_of_int c)) r.bins);
+      Result.note "called again within 100 words: %.0f%% of calls" r.within_100_pct;
+      Result.note "called again within 1000 words: %.0f%% of calls" r.within_1000_pct;
+      Result.note "not called again in same invocation: %.0f%%" r.last_inv_pct;
+      Result.paper
+        "~25% of calls recur within 100 words, ~70% within 1000; ~9% are last in invocation";
+    ]
+
+let run ctx = Result.print (report ctx)

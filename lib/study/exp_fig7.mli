@@ -12,4 +12,7 @@ type result = {
 
 val compute : Context.t -> result
 
+val report : Context.t -> Result.report
+(** Typed report whose text rendering is the classic transcript. *)
+
 val run : Context.t -> unit

@@ -20,11 +20,17 @@ let compute (ctx : Context.t) =
       Array.fold_left (fun acc v -> if v < 0.01 then acc + 1 else acc) 0 series;
   }
 
-let run ctx =
-  Report.section "Figure 8: basic-block invocation skew (loops discounted)";
+let report ctx =
   let r = compute ctx in
-  Report.note "executed basic blocks (union): %d" r.executed_blocks;
-  Report.note "hottest block holds %.1f%% of invocations" r.peak_pct;
-  Report.note "blocks above 3%%: %d; above 1%%: %d; below 0.01%%: %d"
-    r.above_3pct r.above_1pct r.below_001pct;
-  Report.paper "~8,500 executed BBs; 22 above 3%, 157 above 1%, ~6,000 below 0.01%; peak ~5%"
+  Result.report ~id:"fig8" ~section:"Figure 8: basic-block invocation skew (loops discounted)"
+    [
+      Result.note "executed basic blocks (union): %d" r.executed_blocks;
+      Result.scalar ~label:"peak_block_pct" ~value:r.peak_pct
+        ~text:(Printf.sprintf "hottest block holds %.1f%% of invocations" r.peak_pct);
+      Result.note "blocks above 3%%: %d; above 1%%: %d; below 0.01%%: %d"
+        r.above_3pct r.above_1pct r.below_001pct;
+      Result.paper
+        "~8,500 executed BBs; 22 above 3%, 157 above 1%, ~6,000 below 0.01%; peak ~5%";
+    ]
+
+let run ctx = Result.print (report ctx)

@@ -114,12 +114,16 @@ let compute () =
         pass2 = [];
       }
 
-let run _ctx =
-  Report.section "Figure 9: worked sequence-placement example";
+let report _ctx =
   let r = compute () in
-  Report.note "pass (0.01, 0.1): %s" (String.concat " " r.pass1);
-  Report.note "pass (0, 0):     %s" (String.concat " " r.pass2);
   let ok = r.pass1 = expected_pass1 && r.pass2 = expected_pass2 in
-  Report.note "matches the paper's placement: %s" (if ok then "YES" else "NO");
-  Report.paper "0 1 4 8 | read 0 1 2 3 | 9 10 11 12 | chk 0 1 2 5 | 13 | upd 0 |";
-  Report.paper "14 15 17 18 19 | 16, then (0,0) places 5 and 7"
+  Result.report ~id:"fig9" ~section:"Figure 9: worked sequence-placement example"
+    [
+      Result.note "pass (0.01, 0.1): %s" (String.concat " " r.pass1);
+      Result.note "pass (0, 0):     %s" (String.concat " " r.pass2);
+      Result.note "matches the paper's placement: %s" (if ok then "YES" else "NO");
+      Result.paper "0 1 4 8 | read 0 1 2 3 | 9 10 11 12 | chk 0 1 2 5 | 13 | upd 0 |";
+      Result.paper "14 15 17 18 19 | 16, then (0,0) places 5 and 7";
+    ]
+
+let run ctx = Result.print (report ctx)

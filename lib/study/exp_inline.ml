@@ -82,12 +82,8 @@ let compute (ctx : Context.t) =
   in
   { stats; code_growth_pct = growth; rows }
 
-let run ctx =
-  Report.section "Inlining: OptS vs inline-then-OptS (8KB DM, 32B lines)";
+let report ctx =
   let r = compute ctx in
-  Report.note "inlined %d call sites of %d leaf routines; +%d bytes (%.1f%% of the kernel)"
-    r.stats.Inline.sites r.stats.Inline.callees r.stats.Inline.added_bytes
-    r.code_growth_pct;
   let t =
     Table.create
       [
@@ -105,8 +101,17 @@ let run ctx =
           Table.cell_f (row.inline_rate /. Float.max 1e-12 row.opt_s_rate);
         ])
     r.rows;
-  Table.print t;
-  Report.paper
-    "Chen et al. (cited in 4.1): inlining is not a stable and effective scheme;";
-  Report.paper
-    "code expansion increases conflicts, so the paper's sequences do not inline"
+  Result.report ~id:"inline" ~section:"Inlining: OptS vs inline-then-OptS (8KB DM, 32B lines)"
+    [
+      Result.note
+        "inlined %d call sites of %d leaf routines; +%d bytes (%.1f%% of the kernel)"
+        r.stats.Inline.sites r.stats.Inline.callees r.stats.Inline.added_bytes
+        r.code_growth_pct;
+      Result.of_table t;
+      Result.paper
+        "Chen et al. (cited in 4.1): inlining is not a stable and effective scheme;";
+      Result.paper
+        "code expansion increases conflicts, so the paper's sequences do not inline";
+    ]
+
+let run ctx = Result.print (report ctx)

@@ -64,8 +64,7 @@ let compute (ctx : Context.t) =
       })
     ctx.Context.pairs
 
-let run ctx =
-  Report.section "Multiprocessor: per-CPU miss rates, 4 CPUs, 8KB DM each";
+let report ctx =
   let rows = compute ctx in
   let t =
     Table.create
@@ -89,12 +88,18 @@ let run ctx =
       line "OptS" r.opt_rates;
       Table.add_separator t)
     rows;
-  Table.print t;
-  Array.iter
-    (fun r ->
-      Report.note "%-12s cross-processor interrupts: %.0f%% of invocations"
-        r.workload (100.0 *. r.forced_share))
-    rows;
-  Report.paper
-    "the paper reports per-processor averages; OptS must win on every CPU,";
-  Report.paper "with parallel loads showing heavy cross-processor interrupt shares"
+  let shares =
+    Array.to_list rows
+    |> List.map (fun r ->
+           Result.note "%-12s cross-processor interrupts: %.0f%% of invocations"
+             r.workload (100.0 *. r.forced_share))
+  in
+  Result.report ~id:"mp" ~section:"Multiprocessor: per-CPU miss rates, 4 CPUs, 8KB DM each"
+    ((Result.of_table t :: shares)
+    @ [
+        Result.paper
+          "the paper reports per-processor averages; OptS must win on every CPU,";
+        Result.paper "with parallel loads showing heavy cross-processor interrupt shares";
+      ])
+
+let run ctx = Result.print (report ctx)

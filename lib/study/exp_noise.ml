@@ -69,8 +69,7 @@ let compute (ctx : Context.t) =
       })
     spreads
 
-let run ctx =
-  Report.section "Profile noise: OptS from a perturbed profile vs the clean one";
+let report ctx =
   let points = compute ctx in
   let t =
     Table.create
@@ -79,7 +78,12 @@ let run ctx =
   Array.iter
     (fun p -> Table.add_row t [ p.label; Table.cell_f p.ratio ])
     points;
-  Table.print t;
-  Report.note
-    "the decade-wide threshold schedule only needs the profile's order of";
-  Report.note "magnitude, so moderate profiling error costs little"
+  Result.report ~id:"noise"
+    ~section:"Profile noise: OptS from a perturbed profile vs the clean one"
+    [
+      Result.of_table t;
+      Result.note "the decade-wide threshold schedule only needs the profile's order of";
+      Result.note "magnitude, so moderate profiling error costs little";
+    ]
+
+let run ctx = Result.print (report ctx)

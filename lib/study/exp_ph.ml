@@ -49,8 +49,7 @@ let compute (ctx : Context.t) =
       })
     ctx.Context.pairs
 
-let run ctx =
-  Report.section "Baselines: Base / Chang-Hwu / Pettis-Hansen / OptS (8KB DM)";
+let report ctx =
   let rows = compute ctx in
   let t =
     Table.create
@@ -65,8 +64,14 @@ let run ctx =
              (fun (_, rate) -> Table.cell_f ~decimals:3 (100.0 *. rate))
              r.rates))
     rows;
-  Table.print t;
-  Report.note
-    "P-H improves on C-H's procedure ordering with closest-is-best chains; OptS";
-  Report.note
-    "should still lead through its OS-specific seeds, sequences and SelfConfFree"
+  Result.report ~id:"ph"
+    ~section:"Baselines: Base / Chang-Hwu / Pettis-Hansen / OptS (8KB DM)"
+    [
+      Result.of_table t;
+      Result.note
+        "P-H improves on C-H's procedure ordering with closest-is-best chains; OptS";
+      Result.note
+        "should still lead through its OS-specific seeds, sequences and SelfConfFree";
+    ]
+
+let run ctx = Result.print (report ctx)

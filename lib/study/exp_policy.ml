@@ -33,8 +33,7 @@ let compute (ctx : Context.t) =
       })
     ctx.Context.pairs
 
-let run ctx =
-  Report.section "Replacement policy: Base vs OptS, 8KB 4-way";
+let report ctx =
   let rows = compute ctx in
   let t =
     Table.create
@@ -58,7 +57,12 @@ let run ctx =
         r.rates;
       Table.add_separator t)
     rows;
-  Table.print t;
-  Report.note
-    "the layout advantage is policy-independent: conflicts removed in software";
-  Report.note "stay removed whatever the hardware evicts"
+  Result.report ~id:"policy" ~section:"Replacement policy: Base vs OptS, 8KB 4-way"
+    [
+      Result.of_table t;
+      Result.note
+        "the layout advantage is policy-independent: conflicts removed in software";
+      Result.note "stay removed whatever the hardware evicts";
+    ]
+
+let run ctx = Result.print (report ctx)

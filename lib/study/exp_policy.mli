@@ -10,4 +10,7 @@ type row = {
 val policies : (string * Config.policy) array
 
 val compute : Context.t -> row array
+val report : Context.t -> Result.report
+(** Typed report whose text rendering is the classic transcript. *)
+
 val run : Context.t -> unit

@@ -7,7 +7,7 @@
 
 type point = { words : int; ratio : float }
 
-let budgets = [| 500_000; 1_000_000; 2_000_000; 4_000_000 |]
+let budgets_of words = [| words / 4; words / 2; words; words * 2 |]
 
 let ratio_at ~spec ~seed words =
   let ctx = Context.create ~spec ~words ~seed () in
@@ -23,13 +23,12 @@ let ratio_at ~spec ~seed words =
 let compute (ctx : Context.t) =
   (* Rebuild contexts at each budget with the committed spec and seed so
      only the trace length varies. *)
-  ignore ctx;
   Array.map
-    (fun words -> { words; ratio = ratio_at ~spec:Spec.default ~seed:11 words })
-    budgets
+    (fun words ->
+      { words; ratio = ratio_at ~spec:ctx.Context.spec ~seed:ctx.Context.seed words })
+    (budgets_of ctx.Context.words)
 
-let run ctx =
-  Report.section "Robustness: OptS/Base miss ratio vs traced words";
+let report ctx =
   let points = compute ctx in
   let t =
     Table.create [ ("words per workload", Table.Right); ("OptS/Base", Table.Right) ]
@@ -37,8 +36,13 @@ let run ctx =
   Array.iter
     (fun p -> Table.add_row t [ Table.cell_i p.words; Table.cell_f p.ratio ])
     points;
-  Table.print t;
   let ratios = Array.map (fun p -> p.ratio) points in
-  Report.note "spread: %.3f (min %.2f, max %.2f) - the committed 2M-word runs are stable"
-    (Stats.maximum ratios -. Stats.minimum ratios)
-    (Stats.minimum ratios) (Stats.maximum ratios)
+  Result.report ~id:"robust" ~section:"Robustness: OptS/Base miss ratio vs traced words"
+    [
+      Result.of_table t;
+      Result.note "spread: %.3f (min %.2f, max %.2f) - the committed runs are stable"
+        (Stats.maximum ratios -. Stats.minimum ratios)
+        (Stats.minimum ratios) (Stats.maximum ratios);
+    ]
+
+let run ctx = Result.print (report ctx)

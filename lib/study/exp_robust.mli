@@ -1,10 +1,15 @@
 (** Methodology robustness: the OptS/Base total-miss ratio on the 8 KB
-    cache as the traced word budget varies, showing the committed 2 M-word
-    configuration is long enough. *)
+    cache as the traced word budget varies, showing the committed word
+    budget is long enough. *)
 
 type point = { words : int; ratio : float }
 
-val budgets : int array
+val budgets_of : int -> int array
+(** The sweep points for a committed budget: quarter, half, the budget
+    itself and double it. *)
 
 val compute : Context.t -> point array
+val report : Context.t -> Result.report
+(** Typed report whose text rendering is the classic transcript. *)
+
 val run : Context.t -> unit

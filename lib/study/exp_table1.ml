@@ -23,8 +23,7 @@ let compute (ctx : Context.t) =
       })
     ctx.Context.pairs
 
-let run ctx =
-  Report.section "Table 1: OS instruction-reference characteristics";
+let report ctx =
   let rows = compute ctx in
   let t =
     Table.create
@@ -44,8 +43,13 @@ let run ctx =
         (Service.to_string c ^ " Invoc. (% of Total)")
         (fun r -> Table.cell_pct r.invocation_pct.(ci)))
     Service.all;
-  Table.print t;
-  Report.paper
-    "executed bytes 31,866 / 122,710 / 76,228 / 92,908 (3.4 / 13.1 / 8.1 / 9.9 %);";
-  Report.paper
-    "mix: interrupts 76.0/65.7/73.8/29.7, faults 23.0/21.3/21.9/12.0, syscalls 0.0/11.2/2.4/54.7"
+  Result.report ~id:"table1" ~section:"Table 1: OS instruction-reference characteristics"
+    [
+      Result.of_table t;
+      Result.paper
+        "executed bytes 31,866 / 122,710 / 76,228 / 92,908 (3.4 / 13.1 / 8.1 / 9.9 %);";
+      Result.paper
+        "mix: interrupts 76.0/65.7/73.8/29.7, faults 23.0/21.3/21.9/12.0, syscalls 0.0/11.2/2.4/54.7";
+    ]
+
+let run ctx = Result.print (report ctx)

@@ -42,13 +42,8 @@ let compute (ctx : Context.t) =
   in
   { core; regular; rows }
 
-let run ctx =
-  Report.section "Table 2: sequence predictability and weight";
+let report ctx =
   let r = compute ctx in
-  Report.note "core sequences: %d BBs spanning %d routines, %d bytes (budget 8KB)"
-    r.core.Seqstat.block_count r.core.Seqstat.routine_count r.core.Seqstat.bytes;
-  Report.note "regular sequences: %d BBs spanning %d routines, %d bytes (budget 16KB)"
-    r.regular.Seqstat.block_count r.regular.Seqstat.routine_count r.regular.Seqstat.bytes;
   let t =
     Table.create
       [
@@ -76,6 +71,18 @@ let run ctx =
           Table.cell_f ~decimals:1 row.regular_weight.Seqstat.misses_pct;
         ])
     r.rows;
-  Table.print t;
-  Report.paper "core: P(any) 0.95-0.99, P(next) 0.71-0.77, 7-28% BBs, 23-67% refs, 35-75% misses;";
-  Report.paper "regular: P(any) 0.96-0.98, P(next) 0.77-0.79, 13-38% BBs, 38-74% refs, 57-88% misses"
+  Result.report ~id:"table2" ~section:"Table 2: sequence predictability and weight"
+    [
+      Result.note "core sequences: %d BBs spanning %d routines, %d bytes (budget 8KB)"
+        r.core.Seqstat.block_count r.core.Seqstat.routine_count r.core.Seqstat.bytes;
+      Result.note "regular sequences: %d BBs spanning %d routines, %d bytes (budget 16KB)"
+        r.regular.Seqstat.block_count r.regular.Seqstat.routine_count
+        r.regular.Seqstat.bytes;
+      Result.of_table t;
+      Result.paper
+        "core: P(any) 0.95-0.99, P(next) 0.71-0.77, 7-28% BBs, 23-67% refs, 35-75% misses;";
+      Result.paper
+        "regular: P(any) 0.96-0.98, P(next) 0.77-0.79, 13-38% BBs, 38-74% refs, 57-88% misses";
+    ]
+
+let run ctx = Result.print (report ctx)

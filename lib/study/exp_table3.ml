@@ -20,8 +20,7 @@ let compute (ctx : Context.t) =
       })
     ctx.Context.pairs
 
-let run ctx =
-  Report.section "Table 3: OS instructions in loops without procedure calls";
+let report ctx =
   let rows = compute ctx in
   let t =
     Table.create
@@ -42,5 +41,11 @@ let run ctx =
           Table.cell_f ~decimals:1 r.static_pct;
         ])
     rows;
-  Table.print t;
-  Report.paper "dynamic 28.9-39.4%; static-executed 2.7-3.9%; static 0.1-0.4%"
+  Result.report ~id:"table3"
+    ~section:"Table 3: OS instructions in loops without procedure calls"
+    [
+      Result.of_table t;
+      Result.paper "dynamic 28.9-39.4%; static-executed 2.7-3.9%; static 0.1-0.4%";
+    ]
+
+let run ctx = Result.print (report ctx)

@@ -26,8 +26,7 @@ let compute (ctx : Context.t) =
          })
        seqs)
 
-let run ctx =
-  Report.section "Table 4: threshold schedule and sequence lengths";
+let report ctx =
   let rows = compute ctx in
   let t =
     Table.create
@@ -48,8 +47,13 @@ let run ctx =
           Table.cell_i r.bytes;
         ])
     rows;
-  Table.print t;
-  Report.paper
-    "interrupt seed processed first (1.4%/0.4), others join at lower levels; early";
-  Report.paper
-    "sequences are hundreds of bytes to a few KB, final sweeps tens of KB"
+  Result.report ~id:"table4" ~section:"Table 4: threshold schedule and sequence lengths"
+    [
+      Result.of_table t;
+      Result.paper
+        "interrupt seed processed first (1.4%/0.4), others join at lower levels; early";
+      Result.paper
+        "sequences are hundreds of bytes to a few KB, final sweeps tens of KB";
+    ]
+
+let run ctx = Result.print (report ctx)

@@ -12,4 +12,7 @@ type row = {
 
 val compute : Context.t -> row array
 
+val report : Context.t -> Result.report
+(** Typed report whose text rendering is the classic transcript. *)
+
 val run : Context.t -> unit

@@ -45,8 +45,7 @@ let compute (ctx : Context.t) =
       { workload = w.Workload.name; rates = List.map (fun (n, r) -> (n, r.(i))) rates })
     ctx.Context.pairs
 
-let run ctx =
-  Report.section "Victim cache vs software layout (8KB DM main, 32B lines)";
+let report ctx =
   let rows = compute ctx in
   let t =
     Table.create
@@ -59,8 +58,13 @@ let run ctx =
         (r.workload
         :: List.map (fun (_, rate) -> Table.cell_f ~decimals:3 (100.0 *. rate)) r.rates))
     rows;
-  Table.print t;
-  Report.note
-    "the buffer soaks up ping-pong conflicts cheaply, but OptS removes them at";
-  Report.note
-    "the source; the two compose (OptS+V8 is the floor of every row)"
+  Result.report ~id:"victim"
+    ~section:"Victim cache vs software layout (8KB DM main, 32B lines)"
+    [
+      Result.of_table t;
+      Result.note
+        "the buffer soaks up ping-pong conflicts cheaply, but OptS removes them at";
+      Result.note "the source; the two compose (OptS+V8 is the floor of every row)";
+    ]
+
+let run ctx = Result.print (report ctx)

@@ -1,40 +1,48 @@
-type t = { id : string; title : string; run : Context.t -> unit }
+type t = { id : string; title : string; compute : Context.t -> Result.report }
 
 let all =
   [
-    { id = "table1"; title = "OS reference characteristics"; run = Exp_table1.run };
-    { id = "fig1"; title = "OS miss-address distribution"; run = Exp_fig1.run };
-    { id = "fig2"; title = "OS reference-address distribution"; run = Exp_fig2.run };
-    { id = "fig3"; title = "arc-probability distribution"; run = Exp_fig3.run };
-    { id = "table2"; title = "sequence predictability and weight"; run = Exp_table2.run };
-    { id = "table3"; title = "loops without calls"; run = Exp_table3.run };
-    { id = "fig4"; title = "loops without calls: distributions"; run = Exp_fig4.run };
-    { id = "fig5"; title = "loops with calls: distributions"; run = Exp_fig5.run };
-    { id = "fig6"; title = "routine invocation skew"; run = Exp_fig6.run };
-    { id = "fig7"; title = "temporal reuse of hot routines"; run = Exp_fig7.run };
-    { id = "fig8"; title = "basic-block invocation skew"; run = Exp_fig8.run };
-    { id = "fig9"; title = "worked placement example"; run = Exp_fig9.run };
-    { id = "table4"; title = "threshold schedule"; run = Exp_table4.run };
-    { id = "fig12"; title = "misses by layout level"; run = Exp_fig12.run };
-    { id = "fig13"; title = "refs/misses by region"; run = Exp_fig13.run };
-    { id = "fig14"; title = "miss distribution by layout"; run = Exp_fig14.run };
-    { id = "fig15"; title = "cache-size sweep and speedups"; run = Exp_fig15.run };
-    { id = "fig16"; title = "SelfConfFree-area sweep"; run = Exp_fig16.run };
-    { id = "fig17"; title = "line-size and associativity sweeps"; run = Exp_fig17.run };
-    { id = "fig18"; title = "Sep/Resv/Call setups"; run = Exp_fig18.run };
-    { id = "ablation"; title = "OptS ingredient ablation"; run = Exp_ablation.run };
-    { id = "inline"; title = "inlining vs sequences"; run = Exp_inline.run };
-    { id = "mp"; title = "4-CPU per-processor miss rates"; run = Exp_mp.run };
-    { id = "ph"; title = "Pettis-Hansen baseline comparison"; run = Exp_ph.run };
-    { id = "curve"; title = "conflict vs capacity decomposition"; run = Exp_curve.run };
-    { id = "policy"; title = "replacement-policy sensitivity"; run = Exp_policy.run };
-    { id = "robust"; title = "trace-length robustness"; run = Exp_robust.run };
-    { id = "victim"; title = "victim cache vs software layout"; run = Exp_victim.run };
-    { id = "crossval"; title = "profile cross-validation"; run = Exp_crossval.run };
-    { id = "fallthrough"; title = "fall-through rates by layout"; run = Exp_fallthrough.run };
-    { id = "noise"; title = "profile-noise sensitivity"; run = Exp_noise.run };
+    { id = "table1"; title = "OS reference characteristics"; compute = Exp_table1.report };
+    { id = "fig1"; title = "OS miss-address distribution"; compute = Exp_fig1.report };
+    { id = "fig2"; title = "OS reference-address distribution"; compute = Exp_fig2.report };
+    { id = "fig3"; title = "arc-probability distribution"; compute = Exp_fig3.report };
+    { id = "table2"; title = "sequence predictability and weight"; compute = Exp_table2.report };
+    { id = "table3"; title = "loops without calls"; compute = Exp_table3.report };
+    { id = "fig4"; title = "loops without calls: distributions"; compute = Exp_fig4.report };
+    { id = "fig5"; title = "loops with calls: distributions"; compute = Exp_fig5.report };
+    { id = "fig6"; title = "routine invocation skew"; compute = Exp_fig6.report };
+    { id = "fig7"; title = "temporal reuse of hot routines"; compute = Exp_fig7.report };
+    { id = "fig8"; title = "basic-block invocation skew"; compute = Exp_fig8.report };
+    { id = "fig9"; title = "worked placement example"; compute = Exp_fig9.report };
+    { id = "table4"; title = "threshold schedule"; compute = Exp_table4.report };
+    { id = "fig12"; title = "misses by layout level"; compute = Exp_fig12.report };
+    { id = "fig13"; title = "refs/misses by region"; compute = Exp_fig13.report };
+    { id = "fig14"; title = "miss distribution by layout"; compute = Exp_fig14.report };
+    { id = "fig15"; title = "cache-size sweep and speedups"; compute = Exp_fig15.report };
+    { id = "fig16"; title = "SelfConfFree-area sweep"; compute = Exp_fig16.report };
+    { id = "fig17"; title = "line-size and associativity sweeps"; compute = Exp_fig17.report };
+    { id = "fig18"; title = "Sep/Resv/Call setups"; compute = Exp_fig18.report };
+    { id = "ablation"; title = "OptS ingredient ablation"; compute = Exp_ablation.report };
+    { id = "inline"; title = "inlining vs sequences"; compute = Exp_inline.report };
+    { id = "mp"; title = "4-CPU per-processor miss rates"; compute = Exp_mp.report };
+    { id = "ph"; title = "Pettis-Hansen baseline comparison"; compute = Exp_ph.report };
+    { id = "curve"; title = "conflict vs capacity decomposition"; compute = Exp_curve.report };
+    { id = "policy"; title = "replacement-policy sensitivity"; compute = Exp_policy.report };
+    { id = "robust"; title = "trace-length robustness"; compute = Exp_robust.report };
+    { id = "victim"; title = "victim cache vs software layout"; compute = Exp_victim.report };
+    { id = "crossval"; title = "profile cross-validation"; compute = Exp_crossval.report };
+    { id = "fallthrough"; title = "fall-through rates by layout"; compute = Exp_fallthrough.report };
+    { id = "noise"; title = "profile-noise sensitivity"; compute = Exp_noise.report };
   ]
 
 let find id = List.find (fun e -> e.id = id) all
 
-let run_all ctx = List.iter (fun e -> e.run ctx) all
+let compute e ctx =
+  let t0 = Unix.gettimeofday () in
+  let report = e.compute ctx in
+  Manifest.record_experiment ~id:e.id ~seconds:(Unix.gettimeofday () -. t0);
+  report
+
+let run e ctx = Result.print (compute e ctx)
+
+let run_all ctx = List.iter (fun e -> run e ctx) all

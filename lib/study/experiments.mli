@@ -3,7 +3,7 @@
 type t = {
   id : string;  (** e.g. "table1", "fig12". *)
   title : string;
-  run : Context.t -> unit;
+  compute : Context.t -> Result.report;  (** The typed result. *)
 }
 
 val all : t list
@@ -11,5 +11,12 @@ val all : t list
 
 val find : string -> t
 (** @raise Not_found on an unknown id. *)
+
+val compute : t -> Context.t -> Result.report
+(** [e.compute], with the wall-clock spent recorded in the run
+    {!Manifest} under the experiment's id. *)
+
+val run : t -> Context.t -> unit
+(** {!compute} rendered as text to stdout — the classic transcript. *)
 
 val run_all : Context.t -> unit

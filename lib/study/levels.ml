@@ -9,6 +9,18 @@ let to_string = function
   | OptL -> "OptL"
   | OptA -> "OptA"
 
+let of_string s =
+  match String.lowercase_ascii s with
+  | "base" -> Ok Base
+  | "ch" | "c-h" -> Ok CH
+  | "opts" -> Ok OptS
+  | "optl" -> Ok OptL
+  | "opta" -> Ok OptA
+  | other ->
+      Error
+        (Printf.sprintf "unknown layout level %S (expected base, ch, opts, optl or opta)"
+           other)
+
 (* Layout construction is deterministic in (context, level, params) and
    several experiments rebuild the same five levels, so memoize.  Layouts
    are immutable once built (variants go through with_os_map, which
@@ -41,7 +53,9 @@ let build ctx ?(params = Opt.params ()) level =
   match Mutex.protect memo_lock (fun () -> Hashtbl.find_opt memo key) with
   | Some layouts -> layouts
   | None ->
-      let layouts = build_uncached ctx ~params level in
+      let layouts =
+        Manifest.time "levels_build" (fun () -> build_uncached ctx ~params level)
+      in
       Mutex.protect memo_lock (fun () ->
           if not (Hashtbl.mem memo key) then Hashtbl.add memo key layouts);
       layouts

@@ -8,6 +8,11 @@ type level = Base | CH | OptS | OptL | OptA
 val all : level array
 val to_string : level -> string
 
+val of_string : string -> (level, string) result
+(** Case-insensitive parse of the {!to_string} names (plus ["ch"] for
+    ["C-H"]); [Error] carries a human-readable message listing the valid
+    spellings.  The single point of truth for every CLI level argument. *)
+
 val build : Context.t -> ?params:Opt.params -> level -> Program_layout.t array
 (** One program layout per workload, in workload order.  Memoized on
     ({!Context.key}, level, params): experiments that rebuild the same

@@ -1,0 +1,102 @@
+type run = {
+  spec_seed : int;
+  spec_digest : string;
+  words : int;
+  seed : int;
+  jobs : int;
+  context_key : string;
+}
+
+type stage = { mutable count : int; mutable seconds : float }
+
+let lock = Mutex.create ()
+let run_info : run option ref = ref None
+let stages : (string, stage) Hashtbl.t = Hashtbl.create 8
+let stage_order : string list ref = ref [] (* reverse first-seen order *)
+let experiments : (string * float) list ref = ref [] (* reverse order *)
+
+let record_stage name seconds =
+  Mutex.protect lock (fun () ->
+      match Hashtbl.find_opt stages name with
+      | Some s ->
+          s.count <- s.count + 1;
+          s.seconds <- s.seconds +. seconds
+      | None ->
+          Hashtbl.add stages name { count = 1; seconds };
+          stage_order := name :: !stage_order)
+
+let time name f =
+  let t0 = Unix.gettimeofday () in
+  Fun.protect ~finally:(fun () -> record_stage name (Unix.gettimeofday () -. t0)) f
+
+let set_run ~spec_seed ~spec_digest ~words ~seed ~jobs ~context_key =
+  Mutex.protect lock (fun () ->
+      match !run_info with
+      | Some _ -> ()
+      | None -> run_info := Some { spec_seed; spec_digest; words; seed; jobs; context_key })
+
+let record_experiment ~id ~seconds =
+  Mutex.protect lock (fun () -> experiments := (id, seconds) :: !experiments)
+
+let to_json () =
+  let run, stage_rows, experiment_rows =
+    Mutex.protect lock (fun () ->
+        ( !run_info,
+          List.rev_map
+            (fun name ->
+              let s = Hashtbl.find stages name in
+              (name, s.count, s.seconds))
+            !stage_order,
+          List.rev !experiments ))
+  in
+  (* Sample the cache outside the manifest lock: Sim_cache has its own. *)
+  let hits = Sim_cache.hits () and misses = Sim_cache.misses () in
+  Json.Obj
+    [
+      ("schema_version", Json.Int 1);
+      ( "run",
+        match run with
+        | None -> Json.Null
+        | Some r ->
+            Json.Obj
+              [
+                ("spec_seed", Json.Int r.spec_seed);
+                ("spec_digest", Json.String r.spec_digest);
+                ("words", Json.Int r.words);
+                ("seed", Json.Int r.seed);
+                ("jobs", Json.Int r.jobs);
+                ("context_key", Json.String r.context_key);
+              ] );
+      ( "stages",
+        Json.List
+          (List.map
+             (fun (name, count, seconds) ->
+               Json.Obj
+                 [
+                   ("name", Json.String name);
+                   ("count", Json.Int count);
+                   ("seconds", Json.Float seconds);
+                 ])
+             stage_rows) );
+      ( "sim_cache",
+        Json.Obj
+          [
+            ("hits", Json.Int hits);
+            ("misses", Json.Int misses);
+            ("lookups", Json.Int (hits + misses));
+            ("hit_rate", Json.Float (Sim_cache.hit_rate ()));
+          ] );
+      ( "experiments",
+        Json.List
+          (List.map
+             (fun (id, seconds) ->
+               Json.Obj [ ("id", Json.String id); ("seconds", Json.Float seconds) ])
+             experiment_rows) );
+    ]
+
+let reset () =
+  Mutex.protect lock (fun () ->
+      run_info := None;
+      Hashtbl.reset stages;
+      stage_order := [];
+      experiments := [])

@@ -1,0 +1,54 @@
+(** Run manifest: the observability layer of a reproduction run.
+
+    A process-global, domain-safe recorder of where the wall-clock time of
+    a run went and what it was a run {e of}.  The pipeline's hot stages
+    report here ({!Context.create} times trace capture, {!Levels.build}
+    times layout construction on memo misses, {!Runner.simulate} times
+    trace replay), the experiment drivers report per-experiment totals,
+    and {!Sim_cache}'s hit/miss counters are sampled at emission time.
+    [icache-opt repro --format json] and the bench harness emit the
+    manifest as JSON so the perf trajectory is recorded run over run
+    instead of scraped from ad-hoc prints.
+
+    JSON schema (see DESIGN.md for a worked example):
+    {v
+    { "schema_version": 1,
+      "run": { "spec_seed": int, "spec_digest": hex, "words": int,
+               "seed": int, "jobs": int, "context_key": hex } | null,
+      "stages": [ { "name": string, "count": int, "seconds": float } ],
+      "sim_cache": { "hits": int, "misses": int, "lookups": int,
+                     "hit_rate": float },
+      "experiments": [ { "id": string, "seconds": float } ] }
+    v}
+
+    Invariants (checked by [icache-opt validate] and the test suite):
+    every [seconds] and every [count] is non-negative, and
+    [sim_cache.hits + sim_cache.misses = sim_cache.lookups]. *)
+
+val time : string -> (unit -> 'a) -> 'a
+(** [time stage f] runs [f], adding its wall-clock duration (and one
+    invocation) to the per-stage aggregate for [stage]. *)
+
+val record_stage : string -> float -> unit
+(** Add [seconds] of one invocation to [stage]'s aggregate directly. *)
+
+val set_run :
+  spec_seed:int ->
+  spec_digest:string ->
+  words:int ->
+  seed:int ->
+  jobs:int ->
+  context_key:string ->
+  unit
+(** Record the run's identity.  First writer wins: the first (usually
+    main) context built in the process defines the run; sub-contexts
+    built by individual experiments do not overwrite it. *)
+
+val record_experiment : id:string -> seconds:float -> unit
+(** Append one experiment's wall-clock total (in completion order). *)
+
+val to_json : unit -> Json.t
+(** Snapshot the manifest, sampling {!Sim_cache} counters now. *)
+
+val reset : unit -> unit
+(** Clear stages, experiments and the run identity (tests). *)

@@ -7,6 +7,7 @@ let simulate (ctx : Context.t) ~layouts ~system ?(attribute_os = false)
   (* Each workload's replay is independent: a fresh System.t per slot, the
      shared trace/layout data is immutable, and results merge by index —
      so the output is bit-identical for every job count. *)
+  Manifest.time "simulate" @@ fun () ->
   Parallel.map_array ?jobs
     (fun i (_w, program) ->
       let sys = system () in

@@ -1,0 +1,45 @@
+(** Minimal JSON values: enough for the structured experiment reports and
+    the run manifest, with no external dependency.
+
+    The emitter/parser pair is designed to round-trip: for every value [v]
+    built from finite floats, [of_string (to_string v) = Ok v]
+    (test/test_report.ml checks this with QCheck).  Strings are treated as
+    byte sequences: bytes below [0x20] are escaped as [\u00XX], everything
+    else is passed through verbatim, so arbitrary OCaml strings survive a
+    round-trip even when they are not valid UTF-8.  Non-finite floats have
+    no JSON spelling and are emitted as [null]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?minify:bool -> t -> string
+(** Serialize.  Default is pretty-printed with two-space indentation;
+    [~minify:true] emits a single line with no spaces. *)
+
+val of_string : string -> (t, string) result
+(** Parse one JSON document (surrounding whitespace allowed).  Numbers
+    without a fraction or exponent become [Int]; others become [Float].
+    The error string carries a byte offset. *)
+
+val member : string -> t -> t option
+(** [member key (Obj _)] looks up a field; [None] on anything else. *)
+
+val to_float : t -> float option
+(** [Float f] or [Int i] (as a float); [None] otherwise. *)
+
+val to_int : t -> int option
+
+val to_list : t -> t list option
+
+val to_str : t -> string option
+
+val float_repr : float -> string
+(** The shortest decimal spelling that parses back to exactly the same
+    float; always contains ['.'], ['e'] or ["inf"/"nan"], so emitted
+    floats never collide with ints.  (Exposed for the CSV renderer.) *)

@@ -1,0 +1,16 @@
+let with_file path f =
+  if String.equal path "-" then begin
+    let r = f stdout in
+    flush stdout;
+    r
+  end
+  else
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        let r = f oc in
+        (* Close eagerly so flush errors surface as exceptions instead of
+           being swallowed by the noerr cleanup. *)
+        close_out oc;
+        r)

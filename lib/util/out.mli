@@ -1,0 +1,8 @@
+(** Shared file-or-stdout output helper for the CLI tools. *)
+
+val with_file : string -> (out_channel -> 'a) -> 'a
+(** [with_file path f] runs [f] on an output channel for [path].  The
+    conventional path ["-"] selects [stdout], which is flushed but left
+    open.  Any other path is opened fresh and always closed, including
+    when [f] raises — no channel leaks on write failure, and close/flush
+    errors surface as exceptions. *)

@@ -19,6 +19,12 @@ let add_row t cells =
 
 let add_separator t = t.rows <- Separator :: t.rows
 
+let title t = t.title
+
+let columns t = List.combine t.headers t.aligns
+
+let row_list t = List.rev t.rows
+
 let pad align width s =
   let n = String.length s in
   if n >= width then s

@@ -2,6 +2,8 @@
 
 type align = Left | Right
 
+type row = Cells of string list | Separator
+
 type t
 
 val create : ?title:string -> (string * align) list -> t
@@ -13,6 +15,15 @@ val add_row : t -> string list -> unit
 
 val add_separator : t -> unit
 (** Append a horizontal rule between rows. *)
+
+val title : t -> string option
+
+val columns : t -> (string * align) list
+(** The header cells with their alignments, in column order. *)
+
+val row_list : t -> row list
+(** The accumulated rows in insertion order (snapshot for the structured
+    report algebra). *)
 
 val render : t -> string
 (** The table as a string (trailing newline included). *)

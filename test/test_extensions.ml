@@ -345,10 +345,12 @@ let test_policy_compute () =
     rows
 
 let test_robust_budgets () =
+  let budgets = Exp_robust.budgets_of 2_000_000 in
   check_bool "budgets ascend" true
     (Array.for_all2 ( < )
-       (Array.sub Exp_robust.budgets 0 (Array.length Exp_robust.budgets - 1))
-       (Array.sub Exp_robust.budgets 1 (Array.length Exp_robust.budgets - 1)))
+       (Array.sub budgets 0 (Array.length budgets - 1))
+       (Array.sub budgets 1 (Array.length budgets - 1)));
+  check_int "committed budget is the context budget" 2_000_000 budgets.(2)
 
 let test_victim_compute () =
   let ctx = small_ctx () in

@@ -1,9 +1,10 @@
 open Helpers
 
-(* Golden regression tests: table1 and fig12, rendered through the
-   memoized runner, must match the checked-in transcripts byte for byte.
-   Memoization and parallelism can therefore never silently change paper
-   numbers — any drift fails loudly here.
+(* Golden regression tests: every experiment, rendered through the typed
+   Result reports and the memoized runner, must match the checked-in
+   transcripts byte for byte.  The transcripts were captured from the
+   pre-Result printing code, so these tests prove the Text renderer (and
+   memoization, and parallelism) never silently changes paper numbers.
 
    To regenerate after an intended change:
      ICACHE_GOLDEN_WRITE=$PWD/test/golden dune exec test/test_golden.exe
@@ -71,8 +72,10 @@ let () =
   Alcotest.run "golden"
     [
       ( "experiment-output",
-        [
-          case "table1 matches checked-in transcript" (golden "table1" Exp_table1.run);
-          case "fig12 matches checked-in transcript" (golden "fig12" Exp_fig12.run);
-        ] );
+        List.map
+          (fun (e : Experiments.t) ->
+            case
+              (e.Experiments.id ^ " matches checked-in transcript")
+              (golden e.Experiments.id (fun ctx -> Experiments.run e ctx)))
+          Experiments.all );
     ]

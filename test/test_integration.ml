@@ -310,7 +310,7 @@ let test_experiments_all_run () =
   List.iter
     (fun (e : Experiments.t) ->
       if e.Experiments.id <> "robust" then
-        try e.Experiments.run c
+        try Experiments.run e c
         with exn ->
           Alcotest.failf "experiment %s raised %s" e.Experiments.id
             (Printexc.to_string exn))
