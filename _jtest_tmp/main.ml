@@ -1,0 +1,8 @@
+let () =
+  List.iter
+    (fun s ->
+      match Icache_util.Json.of_string s with
+      | Ok _ -> Printf.printf "%S -> Ok\n" s
+      | Error e -> Printf.printf "%S -> Error %s\n" s e
+      | exception ex -> Printf.printf "%S -> EXCEPTION %s\n" s (Printexc.to_string ex))
+    [ "1e"; "1e+"; "[1.5e]"; "{\"a\": 2e}"; "nan"; "1.5"; "[1,2]" ]
