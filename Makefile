@@ -18,9 +18,13 @@ check: build
 
 # End-to-end check of the structured output path: run the full repro as
 # JSON and make sure every report parses back and the run manifest's
-# invariants hold (stage seconds >= 0, sim-cache hits + misses = lookups).
+# invariants hold (stage seconds >= 0, sim-cache hits + misses = lookups,
+# batch cache_hits + simulated <= members).  Run single- and multi-domain
+# so the fused batch replay is validated under both fan-out modes.
 validate: build
-	_build/default/bin/icache_opt.exe repro --small --words 60000 --format json \
+	ICACHE_JOBS=1 _build/default/bin/icache_opt.exe repro --small --words 60000 --format json \
+	  | _build/default/bin/icache_opt.exe validate
+	ICACHE_JOBS=4 _build/default/bin/icache_opt.exe repro --small --words 60000 --format json \
 	  | _build/default/bin/icache_opt.exe validate
 
 bench:

@@ -105,7 +105,7 @@ let timing ctx =
       Test.make ~name:"cache-replay-8KB"
         (Staged.stage (fun () ->
              let sys = System.unified (Config.make ~size_kb:8 ()) in
-             Replay.run ~trace ~map ~systems:[ sys ]));
+             Replay.run ~trace ~map ~systems:[| sys |]));
     ]
   in
   print_newline ();

@@ -318,47 +318,57 @@ let sweep_cmd =
           "miss_rate"; "os_self"; "os_cross"; "app_self"; "app_cross";
         ]
     in
+    (* The whole cross-product is one batch: every geometry of a level
+       shares that level's single replay pass per workload, so the trace
+       decode cost is paid (levels x workloads) times, not
+       (levels x sizes x assocs x lines x workloads) times. *)
+    let specs =
+      List.concat_map
+        (fun level ->
+          let layouts = Levels.build ctx level in
+          List.concat_map
+            (fun size_kb ->
+              List.concat_map
+                (fun assoc ->
+                  List.map
+                    (fun line ->
+                      let config = Config.v ~size:(size_kb * 1024) ~assoc ~line in
+                      (level, size_kb, assoc, line, (layouts, config)))
+                    lines)
+                assocs)
+            sizes)
+        levels
+    in
+    let batch =
+      Runner.simulate_batch ctx
+        ~members:(Array.of_list (List.map (fun (_, _, _, _, m) -> m) specs))
+        ()
+    in
     let rows = ref [] in
-    List.iter
-      (fun level ->
-        let layouts = Levels.build ctx level in
-        List.iter
-          (fun size_kb ->
-            List.iter
-              (fun assoc ->
-                List.iter
-                  (fun line ->
-                    let config = Config.v ~size:(size_kb * 1024) ~assoc ~line in
-                    let runs =
-                      Runner.simulate ctx ~layouts
-                        ~system:(fun () -> System.unified config)
-                        ()
-                    in
-                    Array.iteri
-                      (fun i (r : Runner.run) ->
-                        let c = r.Runner.counters in
-                        rows :=
-                          Table.Cells
-                            [
-                              Levels.to_string level;
-                              string_of_int size_kb;
-                              string_of_int assoc;
-                              string_of_int line;
-                              (Context.workload_names ctx).(i);
-                              string_of_int (Counters.refs c);
-                              string_of_int (Counters.misses c);
-                              Printf.sprintf "%.6f" (Counters.miss_rate c);
-                              string_of_int c.Counters.os_self;
-                              string_of_int c.Counters.os_cross;
-                              string_of_int c.Counters.app_self;
-                              string_of_int c.Counters.app_cross;
-                            ]
-                          :: !rows)
-                      runs)
-                  lines)
-              assocs)
-          sizes)
-      levels;
+    List.iteri
+      (fun m (level, size_kb, assoc, line, _member) ->
+        Array.iteri
+          (fun i (r : Runner.run) ->
+            let c = r.Runner.counters in
+            rows :=
+              Table.Cells
+                [
+                  Levels.to_string level;
+                  string_of_int size_kb;
+                  string_of_int assoc;
+                  string_of_int line;
+                  (Context.workload_names ctx).(i);
+                  string_of_int (Counters.refs c);
+                  string_of_int (Counters.misses c);
+                  Printf.sprintf "%.6f" (Counters.miss_rate c);
+                  string_of_int c.Counters.os_self;
+                  string_of_int c.Counters.os_cross;
+                  string_of_int c.Counters.app_self;
+                  string_of_int c.Counters.app_cross;
+                ]
+              :: !rows)
+          batch.(m))
+      specs;
     let report =
       Result.report ~id:"sweep" ~section:"cache/layout sweep"
         [ Result.Table { title = None; columns; rows = List.rev !rows } ]
@@ -479,11 +489,14 @@ let validate_cmd =
     match Json.to_str j with Some s -> s | None -> fail "%s: expected a string" what
   in
   let check_manifest m =
-    (match Json.member "schema_version" m with
-    | Some v ->
-        let v = get_int "schema_version" v in
-        if v < 1 then fail "schema_version %d < 1" v
-    | None -> fail "manifest: missing schema_version");
+    let schema_version =
+      match Json.member "schema_version" m with
+      | Some v ->
+          let v = get_int "schema_version" v in
+          if v < 1 then fail "schema_version %d < 1" v;
+          v
+      | None -> fail "manifest: missing schema_version"
+    in
     let stages =
       match Json.member "stages" m with
       | Some (Json.List l) -> l
@@ -521,6 +534,24 @@ let validate_cmd =
         if hits + misses <> lookups then
           fail "sim_cache: hits %d + misses %d <> lookups %d" hits misses lookups
     | None -> fail "manifest: missing sim_cache");
+    (match Json.member "batch" m with
+    | Some b ->
+        let g name =
+          match Json.member name b with
+          | Some v -> get_int ("batch " ^ name) v
+          | None -> fail "batch: missing %s" name
+        in
+        List.iter
+          (fun name -> if g name < 0 then fail "batch: %s %d < 0" name (g name))
+          [
+            "calls"; "members"; "cache_hits"; "simulated"; "replay_passes";
+            "passes_saved"; "events_replayed"; "events_saved";
+          ];
+        if g "cache_hits" + g "simulated" > g "members" then
+          fail "batch: cache_hits %d + simulated %d > members %d" (g "cache_hits")
+            (g "simulated") (g "members")
+    | None ->
+        if schema_version >= 2 then fail "manifest: missing batch (schema v2+)");
     (match Json.member "experiments" m with
     | Some (Json.List l) ->
         List.iter

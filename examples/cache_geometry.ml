@@ -20,7 +20,7 @@ let () =
   let rate layout config =
     let system = System.unified config in
     Replay.run_range ~trace ~map:(Program_layout.code_map layout)
-      ~systems:[ system ]
+      ~systems:[| system |]
       ~warmup:(Trace.length trace / 5);
     Counters.miss_rate (System.counters system)
   in

@@ -64,7 +64,7 @@ let () =
     (fun (name, layout) ->
       let system = System.unified (Config.make ~size_kb:8 ()) in
       Replay.run_range ~trace ~map:(Program_layout.code_map layout)
-        ~systems:[ system ]
+        ~systems:[| system |]
         ~warmup:(Trace.length trace / 5);
       let c = System.counters system in
       if name = "Base" then base_misses := Counters.misses c;

@@ -37,7 +37,7 @@ let () =
         let system = System.unified (Config.make ~size_kb:8 ()) in
         Replay.run_range ~trace:cpu.Multiproc.trace
           ~map:(Program_layout.code_map layout)
-          ~systems:[ system ]
+          ~systems:[| system |]
           ~warmup:(Trace.length cpu.Multiproc.trace / 5);
         Counters.miss_rate (System.counters system)
       in

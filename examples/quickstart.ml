@@ -45,7 +45,7 @@ let () =
      direct-mapped cache with 32-byte lines. *)
   let miss_rate layout =
     let system = System.unified (Config.make ~size_kb:8 ()) in
-    Replay.run ~trace ~map:(Program_layout.code_map layout) ~systems:[ system ];
+    Replay.run ~trace ~map:(Program_layout.code_map layout) ~systems:[| system |];
     Counters.miss_rate (System.counters system)
   in
   let base_rate = miss_rate base in

@@ -1,5 +1,16 @@
+(* The replacement policy is resolved once at [create] into this dispatch
+   so the per-access hot path never re-examines [Config.policy].  With one
+   way there is nothing to age, so every deterministic policy collapses to
+   [Direct]: a single tag compare, no way search, no blit. *)
+type kernel =
+  | Direct
+  | Lru_assoc
+  | Fifo_assoc
+  | Random_assoc of Prng.t
+
 type t = {
   config : Config.t;
+  kernel : kernel;
   sets : int;
   assoc : int;
   line_shift : int;
@@ -8,9 +19,13 @@ type t = {
           last slot the victim; under FIFO slot 0 is the newest insertion
           (hits do not reorder); under Random insertion also fills slot 0
           but the victim way is drawn uniformly. *)
-  prng : Prng.t option;  (** Only for [Config.Random]. *)
   counters : Counters.t;
-  evicted_by_os : (int, bool) Hashtbl.t;  (** line -> last evictor was OS *)
+  mutable evicted_by_os : Bytes.t;
+      (** Per line: '\000' = never evicted, '\001' = last evictor was OS,
+          '\002' = last evictor was the application.  Indexed by line
+          number and grown by doubling — line numbers are bounded by the
+          layout extent over the line size, so this stays a few tens of
+          KB while replacing two hashtable probes on every miss. *)
   mutable attr : int array array;  (** per image: per block miss counts *)
   mutable attr_self : int array array;
   mutable attr_cross : int array array;
@@ -25,16 +40,19 @@ let create config =
   let sets = Config.sets config in
   {
     config;
+    kernel =
+      (match config.Config.policy with
+      | Config.Random seed -> Random_assoc (Prng.of_int seed)
+      | Config.Lru when config.Config.assoc = 1 -> Direct
+      | Config.Fifo when config.Config.assoc = 1 -> Direct
+      | Config.Lru -> Lru_assoc
+      | Config.Fifo -> Fifo_assoc);
     sets;
     assoc = config.Config.assoc;
     line_shift = log2 config.Config.line;
     tags = Array.make (sets * config.Config.assoc) (-1);
-    prng =
-      (match config.Config.policy with
-      | Config.Random seed -> Some (Prng.of_int seed)
-      | Config.Lru | Config.Fifo -> None);
     counters = Counters.create ();
-    evicted_by_os = Hashtbl.create 4096;
+    evicted_by_os = Bytes.make 4096 '\000';
     attr = [||];
     attr_self = [||];
     attr_cross = [||];
@@ -68,70 +86,101 @@ let block_misses_cross t ~image =
     invalid_arg "Sim.block_misses_cross: attribution not enabled";
   t.attr_cross.(image)
 
+let record_eviction t line os =
+  let n = Bytes.length t.evicted_by_os in
+  if line >= n then begin
+    let rec grow n = if line < n then n else grow (2 * n) in
+    let b = Bytes.make (grow (2 * n)) '\000' in
+    Bytes.blit t.evicted_by_os 0 b 0 n;
+    t.evicted_by_os <- b
+  end;
+  Bytes.unsafe_set t.evicted_by_os line (if os then '\001' else '\002')
+
 (* Returns true on hit.  On miss, installs the line as MRU and records the
    victim's evictor domain. *)
 let access_line t ~os line =
-  let set = line land (t.sets - 1) in
-  let base = set * t.assoc in
-  let assoc = t.assoc in
-  let tags = t.tags in
-  (* Find the way holding [line]. *)
-  let rec find i = if i = assoc then -1 else if tags.(base + i) = line then i else find (i + 1) in
-  let way = find 0 in
-  if way >= 0 then begin
-    (* LRU refreshes on hit; FIFO and Random do not. *)
-    (match t.config.Config.policy with
-    | Config.Lru ->
-        if way > 0 then begin
-          let v = tags.(base + way) in
-          Array.blit tags base tags (base + 1) way;
-          tags.(base) <- v
-        end
-    | Config.Fifo | Config.Random _ -> ());
-    true
-  end
-  else begin
-    (* Pick the victim way per policy, then insert at slot 0 so age order
-       is maintained for LRU/FIFO. *)
-    let victim_way =
-      match (t.config.Config.policy, t.prng) with
-      | Config.Random _, Some g ->
-          (* Prefer an invalid way; otherwise uniform. *)
-          let rec invalid i =
-            if i = assoc then None
-            else if tags.(base + i) < 0 then Some i
-            else invalid (i + 1)
-          in
-          (match invalid 0 with Some i -> i | None -> Prng.int g assoc)
-      | (Config.Lru | Config.Fifo | Config.Random _), _ -> assoc - 1
-    in
-    let victim = tags.(base + victim_way) in
-    if victim >= 0 then Hashtbl.replace t.evicted_by_os victim os;
-    Array.blit tags base tags (base + 1) victim_way;
-    tags.(base) <- line;
-    false
-  end
+  match t.kernel with
+  | Direct ->
+      (* One way: the set holds exactly one line, so hit/miss is a single
+         tag compare and replacement is an unconditional store. *)
+      let set = line land (t.sets - 1) in
+      let tags = t.tags in
+      let cur = Array.unsafe_get tags set in
+      if cur = line then true
+      else begin
+        if cur >= 0 then record_eviction t cur os;
+        Array.unsafe_set tags set line;
+        false
+      end
+  | (Lru_assoc | Fifo_assoc | Random_assoc _) as kernel ->
+      let set = line land (t.sets - 1) in
+      let base = set * t.assoc in
+      let assoc = t.assoc in
+      let tags = t.tags in
+      (* Find the way holding [line]. *)
+      let rec find i = if i = assoc then -1 else if tags.(base + i) = line then i else find (i + 1) in
+      let way = find 0 in
+      if way >= 0 then begin
+        (* LRU refreshes on hit; FIFO and Random do not. *)
+        (match kernel with
+        | Lru_assoc ->
+            if way > 0 then begin
+              let v = tags.(base + way) in
+              Array.blit tags base tags (base + 1) way;
+              tags.(base) <- v
+            end
+        | Direct | Fifo_assoc | Random_assoc _ -> ());
+        true
+      end
+      else begin
+        (* Pick the victim way per policy, then insert at slot 0 so age order
+           is maintained for LRU/FIFO. *)
+        let victim_way =
+          match kernel with
+          | Random_assoc g ->
+              (* Prefer an invalid way; otherwise uniform. *)
+              let rec invalid i =
+                if i = assoc then None
+                else if tags.(base + i) < 0 then Some i
+                else invalid (i + 1)
+              in
+              (match invalid 0 with Some i -> i | None -> Prng.int g assoc)
+          | Direct | Lru_assoc | Fifo_assoc -> assoc - 1
+        in
+        let victim = tags.(base + victim_way) in
+        if victim >= 0 then record_eviction t victim os;
+        Array.blit tags base tags (base + 1) victim_way;
+        tags.(base) <- line;
+        false
+      end
 
 (* Returns: 0 = cold, 1 = self-interference, 2 = cross-interference. *)
 let classify t ~os line =
   let c = t.counters in
-  match Hashtbl.find_opt t.evicted_by_os line with
-  | None ->
+  let tag =
+    if line < Bytes.length t.evicted_by_os then
+      Bytes.unsafe_get t.evicted_by_os line
+    else '\000'
+  in
+  match tag with
+  | '\000' ->
       if os then c.Counters.os_cold <- c.Counters.os_cold + 1
       else c.Counters.app_cold <- c.Counters.app_cold + 1;
       0
-  | Some evictor_os ->
-      if os then
-        if evictor_os then begin
-          c.Counters.os_self <- c.Counters.os_self + 1;
-          1
-        end
-        else begin
-          c.Counters.os_cross <- c.Counters.os_cross + 1;
-          2
-        end
-      else if evictor_os then begin
+  | '\001' ->
+      (* Last evictor was the OS. *)
+      if os then begin
+        c.Counters.os_self <- c.Counters.os_self + 1;
+        1
+      end
+      else begin
         c.Counters.app_cross <- c.Counters.app_cross + 1;
+        2
+      end
+  | _ ->
+      (* Last evictor was the application. *)
+      if os then begin
+        c.Counters.os_cross <- c.Counters.os_cross + 1;
         2
       end
       else begin
@@ -185,5 +234,5 @@ let reset_counters t =
 
 let reset t =
   Array.fill t.tags 0 (Array.length t.tags) (-1);
-  Hashtbl.reset t.evicted_by_os;
+  Bytes.fill t.evicted_by_os 0 (Bytes.length t.evicted_by_os) '\000';
   reset_counters t

@@ -36,12 +36,14 @@ let compute (ctx : Context.t) =
   in
   (* No warm-up discount on either side: the stack-distance pass counts
      every reference including cold ones, so the simulation must too. *)
-  let dm layouts =
-    Runner.simulate_config ctx ~layouts ~config:(Config.make ~size_kb:8 ())
+  let dm_batch =
+    let config = Config.make ~size_kb:8 () in
+    Runner.simulate_batch ctx
+      ~members:[| (base_layouts, config); (opt_layouts, config) |]
       ~warmup_fraction:0.0 ()
   in
-  let base_dm = dm base_layouts in
-  let opt_dm = dm opt_layouts in
+  let base_dm = dm_batch.(0) in
+  let opt_dm = dm_batch.(1) in
   Array.mapi
     (fun i ((w : Workload.t), _) ->
       {

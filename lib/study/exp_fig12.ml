@@ -12,13 +12,14 @@ type row = { workload : string; os_ref_pct : float; bars : miss_bar array }
 
 let compute (ctx : Context.t) =
   let config = Config.make ~size_kb:8 () in
-  let per_level =
-    Array.map
-      (fun level ->
-        let layouts = Levels.build ctx level in
-        (level, Runner.simulate_config ctx ~layouts ~config ()))
-      Levels.all
+  (* The whole level sweep is one batch: every uncached member replays in
+     the same fused pass over each workload trace. *)
+  let batch =
+    Runner.simulate_batch ctx
+      ~members:(Array.map (fun level -> (Levels.build ctx level, config)) Levels.all)
+      ()
   in
+  let per_level = Array.mapi (fun k level -> (level, batch.(k))) Levels.all in
   Array.mapi
     (fun i (w, _) ->
       let base_total =

@@ -38,13 +38,12 @@ let compute (ctx : Context.t) =
     fun b -> Address_map.region m b
   in
   let levels = [| Levels.Base; Levels.CH; Levels.OptS; Levels.OptL |] in
-  let runs_per_level =
-    Array.map
-      (fun level ->
-        let layouts = Levels.build ctx level in
-        (level, Runner.simulate_config ctx ~layouts ~config ~attribute_os:true ()))
-      levels
+  let batch =
+    Runner.simulate_batch ctx
+      ~members:(Array.map (fun level -> (Levels.build ctx level, config)) levels)
+      ~attribute_os:true ()
   in
+  let runs_per_level = Array.mapi (fun k level -> (level, batch.(k))) levels in
   Array.mapi
     (fun i (w, _) ->
       let p = ctx.Context.os_profiles.(i) in

@@ -12,10 +12,15 @@ let compute (ctx : Context.t) =
   let base_map = Base.layout g ~order:ctx.Context.model.Model.base_order in
   let positions = Address_map.addr_array base_map in
   let sizes = Address_map.bytes_array base_map in
-  Array.map
-    (fun level ->
-      let layouts = Levels.build ctx level in
-      let runs = Runner.simulate_config ctx ~layouts ~config ~attribute_os:true () in
+  let levels = [| Levels.Base; Levels.CH; Levels.OptS |] in
+  let batch =
+    Runner.simulate_batch ctx
+      ~members:(Array.map (fun level -> (Levels.build ctx level, config)) levels)
+      ~attribute_os:true ()
+  in
+  Array.mapi
+    (fun k level ->
+      let runs = batch.(k) in
       let misses = Array.make (Graph.block_count g) 0 in
       Array.iter
         (fun (r : Runner.run) ->
@@ -29,7 +34,7 @@ let compute (ctx : Context.t) =
         top5_pct = 100.0 *. Missmap.peak_fraction bins ~n:5;
         tallest_peak = (match Missmap.peaks bins ~n:1 with (_, c) :: _ -> c | [] -> 0);
       })
-    [| Levels.Base; Levels.CH; Levels.OptS |]
+    levels
 
 let report ctx =
   let results = compute ctx in

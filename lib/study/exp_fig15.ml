@@ -7,21 +7,37 @@ type point = {
   speedups : float array;
 }
 
+let levels = [| Levels.Base; Levels.CH; Levels.OptS |]
+
 let compute (ctx : Context.t) =
   let sizes = [| 4; 8; 16; 32 |] in
+  (* The whole (cache size x level) grid goes through one batch: the Base
+     and C-H placements do not depend on the cache size, so their four
+     geometries share a single replay pass per workload. *)
+  let members =
+    Array.concat
+      (Array.to_list
+         (Array.map
+            (fun size_kb ->
+              let config = Config.make ~size_kb () in
+              let params = Opt.params ~cache_size:(size_kb * 1024) () in
+              Array.map
+                (fun level -> (Levels.build ctx ~params level, config))
+                levels)
+            sizes))
+  in
+  let batch = Runner.simulate_batch ctx ~members () in
   let points = ref [] in
-  Array.iter
-    (fun size_kb ->
-      let config = Config.make ~size_kb () in
-      let params = Opt.params ~cache_size:(size_kb * 1024) () in
-      let rates level =
-        let layouts = Levels.build ctx ~params level in
-        let runs = Runner.simulate_config ctx ~layouts ~config () in
-        Array.map (fun (r : Runner.run) -> Counters.miss_rate r.Runner.counters) runs
+  Array.iteri
+    (fun si size_kb ->
+      let rates k =
+        Array.map
+          (fun (r : Runner.run) -> Counters.miss_rate r.Runner.counters)
+          batch.((si * Array.length levels) + k)
       in
-      let base = rates Levels.Base in
-      let ch = rates Levels.CH in
-      let opt_s = rates Levels.OptS in
+      let base = rates 0 in
+      let ch = rates 1 in
+      let opt_s = rates 2 in
       Array.iteri
         (fun i (w, _) ->
           points :=

@@ -6,21 +6,36 @@ type point = {
   opt_s_pct : float;
 }
 
+let levels = [| Levels.Base; Levels.CH; Levels.OptS |]
+
 let sweep (ctx : Context.t) configs =
   let params = Opt.params ~cache_size:8192 () in
+  (* One batch per sweep: all geometries of a level share that level's
+     single replay pass per workload (the placement, and hence the fed
+     event stream, is geometry-independent). *)
+  let configs = Array.of_list configs in
+  let members =
+    Array.concat
+      (Array.to_list
+         (Array.map
+            (fun (_label, config) ->
+              Array.map
+                (fun level -> (Levels.build ctx ~params level, config))
+                levels)
+            configs))
+  in
+  let batch = Runner.simulate_batch ctx ~members () in
   let points = ref [] in
-  List.iter
-    (fun (label, config) ->
-      let rates level =
-        let layouts = Levels.build ctx ~params level in
-        let runs = Runner.simulate_config ctx ~layouts ~config () in
+  Array.iteri
+    (fun ci (label, _config) ->
+      let rates k =
         Array.map
           (fun (r : Runner.run) -> 100.0 *. Counters.miss_rate r.Runner.counters)
-          runs
+          batch.((ci * Array.length levels) + k)
       in
-      let base = rates Levels.Base in
-      let ch = rates Levels.CH in
-      let opt_s = rates Levels.OptS in
+      let base = rates 0 in
+      let ch = rates 1 in
+      let opt_s = rates 2 in
       Array.iteri
         (fun i (w, _) ->
           points :=

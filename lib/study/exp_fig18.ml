@@ -12,14 +12,30 @@ let compute (ctx : Context.t) =
   let model = ctx.Context.model in
   let os_profile = ctx.Context.avg_os_profile in
   let unified_config = Config.make ~size_kb:8 () in
-  let base_runs =
-    Runner.simulate_config ctx ~layouts:(Levels.build ctx Levels.Base)
-      ~config:unified_config ()
-  in
   let opt_a_layouts = Levels.build ctx Levels.OptA in
-  let opt_a_runs =
-    Runner.simulate_config ctx ~layouts:opt_a_layouts ~config:unified_config ()
+  (* Call: Section 4.4 loop-callee placement on the OS side. *)
+  let call_os, _stats = Call_opt.layout ~model ~profile:os_profile () in
+  let call_layouts =
+    Array.map
+      (fun l ->
+        Program_layout.with_os_map l ~name:"Call" call_os.Opt.map ~os_meta:(Some call_os))
+      opt_a_layouts
   in
+  (* The three unified-cache setups share one batch (Sep/Resv need split /
+     reserved systems, which stay on the general [Runner.simulate] path). *)
+  let batch =
+    Runner.simulate_batch ctx
+      ~members:
+        [|
+          (Levels.build ctx Levels.Base, unified_config);
+          (opt_a_layouts, unified_config);
+          (call_layouts, unified_config);
+        |]
+      ()
+  in
+  let base_runs = batch.(0) in
+  let opt_a_runs = batch.(1) in
+  let call_runs = batch.(2) in
   (* Sep: both halves 4 KB; layouts optimized for 4 KB logical caches. *)
   let sep_layouts = Levels.build ctx ~params:(Opt.params ~cache_size:4096 ()) Levels.OptA in
   let sep_runs =
@@ -52,17 +68,6 @@ let compute (ctx : Context.t) =
           ~rest:(Config.v ~size:8192 ~assoc:1 ~line:32)
           ~hot_limit)
       ()
-  in
-  (* Call: Section 4.4 loop-callee placement on the OS side. *)
-  let call_os, _stats = Call_opt.layout ~model ~profile:os_profile () in
-  let call_layouts =
-    Array.map
-      (fun l ->
-        Program_layout.with_os_map l ~name:"Call" call_os.Opt.map ~os_meta:(Some call_os))
-      opt_a_layouts
-  in
-  let call_runs =
-    Runner.simulate_config ctx ~layouts:call_layouts ~config:unified_config ()
   in
   Array.mapi
     (fun i (w, _) ->

@@ -60,8 +60,8 @@ let compute (ctx : Context.t) =
     let system = System.unified (Config.make ~size_kb:8 ()) in
     let trace = Option.get traces.(i) in
     Replay.run_range ~trace ~map:(Program_layout.code_map layout)
-      ~systems:[ system ]
-      ~warmup:(Trace.length trace / 5);
+      ~systems:[| system |]
+      ~warmup:(Trace.exec_count trace / 5);
     Counters.miss_rate (System.counters system)
   in
   (* Reference: plain OptS on the original kernel, original traces. *)

@@ -15,14 +15,24 @@ let policies =
 let compute (ctx : Context.t) =
   let base_layouts = Levels.build ctx Levels.Base in
   let opt_layouts = Levels.build ctx Levels.OptS in
-  let rates layouts policy =
-    let config = Config.make ~size_kb:8 ~assoc:4 ~policy () in
-    Runner.simulate_config ctx ~layouts ~config ()
-    |> Array.map (fun (r : Runner.run) -> Counters.miss_rate r.Runner.counters)
+  (* All six (policy x layout) members ride one batch: the three policies
+     of a layout share that layout's single replay pass per workload. *)
+  let members =
+    Array.concat
+      (Array.to_list
+         (Array.map
+            (fun (_name, policy) ->
+              let config = Config.make ~size_kb:8 ~assoc:4 ~policy () in
+              [| (base_layouts, config); (opt_layouts, config) |])
+            policies))
+  in
+  let batch = Runner.simulate_batch ctx ~members () in
+  let rates runs =
+    Array.map (fun (r : Runner.run) -> Counters.miss_rate r.Runner.counters) runs
   in
   let per_policy =
-    Array.map
-      (fun (name, p) -> (name, rates base_layouts p, rates opt_layouts p))
+    Array.mapi
+      (fun pi (name, _) -> (name, rates batch.(2 * pi), rates batch.((2 * pi) + 1)))
       policies
   in
   Array.mapi

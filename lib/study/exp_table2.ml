@@ -21,8 +21,10 @@ let compute (ctx : Context.t) =
   (* Misses measured under the Base layout, 8 KB DM, 32 B lines. *)
   let layouts = Levels.build ctx Levels.Base in
   let runs =
-    Runner.simulate_config ctx ~layouts ~config:(Config.make ~size_kb:8 ())
-      ~attribute_os:true ()
+    (Runner.simulate_batch ctx
+       ~members:[| (layouts, Config.make ~size_kb:8 ()) |]
+       ~attribute_os:true ())
+      .(0)
   in
   let rows =
     Array.mapi

@@ -25,14 +25,23 @@ let setups =
 
 let compute (ctx : Context.t) =
   let main = Config.make ~size_kb:8 () in
+  (* The two plain unified setups go through one batch up front; the
+     victim-cache systems need System.victim and stay on the general path. *)
+  let plain =
+    Runner.simulate_batch ctx
+      ~members:
+        [| (Levels.build ctx Levels.Base, main); (Levels.build ctx Levels.OptS, main) |]
+      ()
+  in
   let rates =
     List.map
       (fun (name, level, entries) ->
         let layouts = Levels.build ctx level in
         let runs =
-          match entries with
-          | None -> Runner.simulate_config ctx ~layouts ~config:main ()
-          | Some entries ->
+          match (entries, level) with
+          | None, Levels.Base -> plain.(0)
+          | None, _ -> plain.(1)
+          | Some entries, _ ->
               Runner.simulate ctx ~layouts
                 ~system:(fun () -> System.victim ~main ~entries)
                 ()

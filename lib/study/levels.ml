@@ -46,10 +46,16 @@ let build_uncached (ctx : Context.t) ~params level =
     ctx.Context.pairs
 
 let build ctx ?(params = Opt.params ()) level =
-  let key =
-    Context.key ctx ^ "|" ^ to_string level ^ "|"
-    ^ Digest.to_hex (Digest.string (Marshal.to_string (params : Opt.params) []))
+  (* Base and C-H never consume [params] (see [build_uncached]), so their
+     memo key must not include it: a cache-size sweep would otherwise
+     rebuild the identical placement once per geometry. *)
+  let params_part =
+    match level with
+    | Base | CH -> "-"
+    | OptS | OptL | OptA ->
+        Digest.to_hex (Digest.string (Marshal.to_string (params : Opt.params) []))
   in
+  let key = Context.key ctx ^ "|" ^ to_string level ^ "|" ^ params_part in
   match Mutex.protect memo_lock (fun () -> Hashtbl.find_opt memo key) with
   | Some layouts -> layouts
   | None ->

@@ -9,11 +9,39 @@ type run = {
 
 type stage = { mutable count : int; mutable seconds : float }
 
+(* Aggregate effectiveness of Runner.simulate_batch: how many sweep
+   members rode a shared replay pass instead of walking the trace alone.
+   "Passes" and "events" count (workload x member) replay work; saved =
+   what the per-config sequential path would have done minus what the
+   fused path actually did. *)
+type batch = {
+  mutable calls : int;
+  mutable members : int;
+  mutable cache_hits : int;
+  mutable simulated : int;
+  mutable replay_passes : int;
+  mutable passes_saved : int;
+  mutable events_replayed : int;
+  mutable events_saved : int;
+}
+
 let lock = Mutex.create ()
 let run_info : run option ref = ref None
 let stages : (string, stage) Hashtbl.t = Hashtbl.create 8
 let stage_order : string list ref = ref [] (* reverse first-seen order *)
 let experiments : (string * float) list ref = ref [] (* reverse order *)
+
+let batch_stats =
+  {
+    calls = 0;
+    members = 0;
+    cache_hits = 0;
+    simulated = 0;
+    replay_passes = 0;
+    passes_saved = 0;
+    events_replayed = 0;
+    events_saved = 0;
+  }
 
 let record_stage name seconds =
   Mutex.protect lock (fun () ->
@@ -38,8 +66,21 @@ let set_run ~spec_seed ~spec_digest ~words ~seed ~jobs ~context_key =
 let record_experiment ~id ~seconds =
   Mutex.protect lock (fun () -> experiments := (id, seconds) :: !experiments)
 
+let record_batch ~members ~cache_hits ~simulated ~replay_passes ~passes_saved
+    ~events_replayed ~events_saved =
+  Mutex.protect lock (fun () ->
+      let b = batch_stats in
+      b.calls <- b.calls + 1;
+      b.members <- b.members + members;
+      b.cache_hits <- b.cache_hits + cache_hits;
+      b.simulated <- b.simulated + simulated;
+      b.replay_passes <- b.replay_passes + replay_passes;
+      b.passes_saved <- b.passes_saved + passes_saved;
+      b.events_replayed <- b.events_replayed + events_replayed;
+      b.events_saved <- b.events_saved + events_saved)
+
 let to_json () =
-  let run, stage_rows, experiment_rows =
+  let run, stage_rows, experiment_rows, batch =
     Mutex.protect lock (fun () ->
         ( !run_info,
           List.rev_map
@@ -47,13 +88,14 @@ let to_json () =
               let s = Hashtbl.find stages name in
               (name, s.count, s.seconds))
             !stage_order,
-          List.rev !experiments ))
+          List.rev !experiments,
+          { batch_stats with calls = batch_stats.calls } ))
   in
   (* Sample the cache outside the manifest lock: Sim_cache has its own. *)
   let hits = Sim_cache.hits () and misses = Sim_cache.misses () in
   Json.Obj
     [
-      ("schema_version", Json.Int 1);
+      ("schema_version", Json.Int 2);
       ( "run",
         match run with
         | None -> Json.Null
@@ -86,6 +128,18 @@ let to_json () =
             ("lookups", Json.Int (hits + misses));
             ("hit_rate", Json.Float (Sim_cache.hit_rate ()));
           ] );
+      ( "batch",
+        Json.Obj
+          [
+            ("calls", Json.Int batch.calls);
+            ("members", Json.Int batch.members);
+            ("cache_hits", Json.Int batch.cache_hits);
+            ("simulated", Json.Int batch.simulated);
+            ("replay_passes", Json.Int batch.replay_passes);
+            ("passes_saved", Json.Int batch.passes_saved);
+            ("events_replayed", Json.Int batch.events_replayed);
+            ("events_saved", Json.Int batch.events_saved);
+          ] );
       ( "experiments",
         Json.List
           (List.map
@@ -99,4 +153,13 @@ let reset () =
       run_info := None;
       Hashtbl.reset stages;
       stage_order := [];
-      experiments := [])
+      experiments := [];
+      let b = batch_stats in
+      b.calls <- 0;
+      b.members <- 0;
+      b.cache_hits <- 0;
+      b.simulated <- 0;
+      b.replay_passes <- 0;
+      b.passes_saved <- 0;
+      b.events_replayed <- 0;
+      b.events_saved <- 0)

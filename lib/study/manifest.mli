@@ -12,18 +12,29 @@
 
     JSON schema (see DESIGN.md for a worked example):
     {v
-    { "schema_version": 1,
+    { "schema_version": 2,
       "run": { "spec_seed": int, "spec_digest": hex, "words": int,
                "seed": int, "jobs": int, "context_key": hex } | null,
       "stages": [ { "name": string, "count": int, "seconds": float } ],
       "sim_cache": { "hits": int, "misses": int, "lookups": int,
                      "hit_rate": float },
+      "batch": { "calls": int, "members": int, "cache_hits": int,
+                 "simulated": int, "replay_passes": int,
+                 "passes_saved": int, "events_replayed": int,
+                 "events_saved": int },
       "experiments": [ { "id": string, "seconds": float } ] }
     v}
 
+    The [batch] object aggregates {!Runner.simulate_batch} effectiveness:
+    how many sweep members were requested, how many were served from
+    {!Sim_cache}, how many were actually simulated, and how many
+    (workload x member) replay passes / decoded trace events the fused
+    path spent versus what per-member sequential replay would have cost.
+
     Invariants (checked by [icache-opt validate] and the test suite):
-    every [seconds] and every [count] is non-negative, and
-    [sim_cache.hits + sim_cache.misses = sim_cache.lookups]. *)
+    every [seconds] and every [count] is non-negative,
+    [sim_cache.hits + sim_cache.misses = sim_cache.lookups], and
+    [batch.cache_hits + batch.simulated <= batch.members]. *)
 
 val time : string -> (unit -> 'a) -> 'a
 (** [time stage f] runs [f], adding its wall-clock duration (and one
@@ -46,6 +57,18 @@ val set_run :
 
 val record_experiment : id:string -> seconds:float -> unit
 (** Append one experiment's wall-clock total (in completion order). *)
+
+val record_batch :
+  members:int ->
+  cache_hits:int ->
+  simulated:int ->
+  replay_passes:int ->
+  passes_saved:int ->
+  events_replayed:int ->
+  events_saved:int ->
+  unit
+(** Fold one {!Runner.simulate_batch} call into the aggregate batch
+    statistics (and count the call itself). *)
 
 val to_json : unit -> Json.t
 (** Snapshot the manifest, sampling {!Sim_cache} counters now. *)

@@ -34,5 +34,24 @@ val simulate_config :
     digests, geometry, attribution) combination returns the cached runs
     (as fresh copies) instead of replaying. *)
 
+val simulate_batch :
+  Context.t -> members:(Program_layout.t array * Config.t) array ->
+  ?attribute_os:bool -> ?warmup_fraction:float -> ?jobs:int -> unit ->
+  run array array
+(** Fused sweep: simulate every (per-workload layouts, unified cache
+    geometry) member of a configuration grid, replaying each workload
+    trace {e once per distinct placement} while feeding all of that
+    placement's uncached members simultaneously ({!Replay.run_range} with
+    several systems).  Result [.(m).(i)] is member [m]'s run on workload
+    [i], bit-identical to [simulate_config ~layouts ~config] called per
+    member — same counters, same attribution arrays — just without the
+    redundant trace decodes.
+
+    Every member consults {!Sim_cache} first (hits skip replay entirely)
+    and every simulated member is published to it, so batched and
+    per-config call sites share one memo.  Effectiveness (members served
+    from cache, replay passes and decoded events saved) is recorded via
+    {!Manifest.record_batch}. *)
+
 val total : run array -> Counters.t
 (** Sum of all workloads' counters. *)

@@ -1,4 +1,4 @@
-type t = { mutable data : int array; mutable len : int }
+type t = { mutable data : int array; mutable len : int; mutable execs : int }
 
 type event =
   | Exec of { image : int; block : Block.id }
@@ -22,18 +22,26 @@ let decode v =
   else if tag = tag_end then Invocation_end
   else Exec { image = tag; block = payload }
 
-let create ?(capacity = 4096) () = { data = Array.make (max 16 capacity) 0; len = 0 }
+let create ?(capacity = 4096) () =
+  { data = Array.make (max 16 capacity) 0; len = 0; execs = 0 }
 
-let append t ev =
+(* Both append paths funnel through here: grow-by-doubling, store the
+   packed event, and keep the exec-event count current. *)
+let push t v =
   if t.len = Array.length t.data then begin
     let bigger = Array.make (2 * t.len) 0 in
     Array.blit t.data 0 bigger 0 t.len;
     t.data <- bigger
   end;
-  t.data.(t.len) <- encode ev;
-  t.len <- t.len + 1
+  t.data.(t.len) <- v;
+  t.len <- t.len + 1;
+  if v land 7 < tag_end then t.execs <- t.execs + 1
+
+let append t ev = push t (encode ev)
 
 let length t = t.len
+
+let exec_count t = t.execs
 
 let get t i =
   if i < 0 || i >= t.len then invalid_arg "Trace.get: out of bounds";
@@ -58,13 +66,7 @@ let raw t i =
 
 let append_raw t v =
   ignore (decode v);
-  if t.len = Array.length t.data then begin
-    let bigger = Array.make (2 * t.len) 0 in
-    Array.blit t.data 0 bigger 0 t.len;
-    t.data <- bigger
-  end;
-  t.data.(t.len) <- v;
-  t.len <- t.len + 1
+  push t v
 
 let events_to_list t =
   List.init t.len (fun i -> decode t.data.(i))

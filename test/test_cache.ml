@@ -380,7 +380,7 @@ let replay_fixture () =
 let test_replay_run () =
   let _, t, map = replay_fixture () in
   let sys = System.unified (Config.v ~size:1024 ~assoc:1 ~line:32) in
-  Replay.run ~trace:t ~map ~systems:[ sys ];
+  Replay.run ~trace:t ~map ~systems:[| sys |];
   let c = System.counters sys in
   check_int "words fetched" (7 * 4) (Counters.refs c);
   (* 7 blocks of 16 bytes over 32-byte lines from address 0: 4 lines. *)
@@ -390,7 +390,7 @@ let test_replay_multiple_systems () =
   let _, t, map = replay_fixture () in
   let a = System.unified (Config.v ~size:1024 ~assoc:1 ~line:32) in
   let b = System.unified (Config.v ~size:1024 ~assoc:1 ~line:16) in
-  Replay.run ~trace:t ~map ~systems:[ a; b ];
+  Replay.run ~trace:t ~map ~systems:[| a; b |];
   check_int "both systems see all refs" (Counters.refs (System.counters a))
     (Counters.refs (System.counters b));
   check_int "16B lines mean more line misses" 7
@@ -400,7 +400,7 @@ let test_replay_warmup () =
   let _, t, map = replay_fixture () in
   let sys = System.unified (Config.v ~size:1024 ~assoc:1 ~line:32) in
   (* Warm up over the whole trace: a second pass has no cold misses. *)
-  Replay.run_range ~trace:t ~map ~systems:[ sys ] ~warmup:(Trace.length t);
+  Replay.run_range ~trace:t ~map ~systems:[| sys |] ~warmup:(Trace.exec_count t);
   check_int "warmup discards all misses" 0 (Counters.misses (System.counters sys));
   check_int "and all refs" 0 (Counters.refs (System.counters sys))
 
