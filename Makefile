@@ -19,8 +19,10 @@ check: build
 # End-to-end check of the structured output path: run the full repro as
 # JSON and make sure every report parses back and the run manifest's
 # invariants hold (stage seconds >= 0, sim-cache hits + misses = lookups,
-# batch cache_hits + simulated <= members).  Run single- and multi-domain
-# so the fused batch replay is validated under both fan-out modes.
+# batch cache_hits + simulated <= members, and per layout stage
+# hits + misses = lookups with seconds >= 0).  Run single- and
+# multi-domain so the fused batch replay and the parallel staged layout
+# builds are validated under both fan-out modes.
 validate: build
 	ICACHE_JOBS=1 _build/default/bin/icache_opt.exe repro --small --words 60000 --format json \
 	  | _build/default/bin/icache_opt.exe validate

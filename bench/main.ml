@@ -41,14 +41,21 @@ let run_experiments ctx ids =
   List.iter
     (fun (e : Experiments.t) ->
       let h0 = Sim_cache.hits () and m0 = Sim_cache.misses () in
+      let l0 = Layout_cache.totals () in
       let t0 = wall () in
       Experiments.run e ctx;
-      Printf.printf "  [bench] %-12s %6.2fs wall   sim-cache %d hit / %d miss\n%!"
+      let l1 = Layout_cache.totals () in
+      Printf.printf
+        "  [bench] %-12s %6.2fs wall   sim-cache %d hit / %d miss   layout-cache %d hit / %d miss\n%!"
         e.Experiments.id
         (wall () -. t0)
         (Sim_cache.hits () - h0)
-        (Sim_cache.misses () - m0))
+        (Sim_cache.misses () - m0)
+        (l1.Layout_cache.hits - l0.Layout_cache.hits)
+        (l1.Layout_cache.misses - l0.Layout_cache.misses))
     exps;
+  let lt = Layout_cache.totals () in
+  let layout_lookups = lt.Layout_cache.hits + lt.Layout_cache.misses in
   Printf.printf
     "\n=== %d experiments: %.2fs wall | sim-cache %d hits / %d misses (%.1f%% hit rate) | %d jobs ===\n%!"
     (List.length exps)
@@ -56,6 +63,15 @@ let run_experiments ctx ids =
     (Sim_cache.hits ()) (Sim_cache.misses ())
     (100.0 *. Sim_cache.hit_rate ())
     (Parallel.default_jobs ());
+  Printf.printf "=== layout stages:%s | %d hits / %d misses (%.1f%% hit rate) ===\n%!"
+    (String.concat ""
+       (List.map
+          (fun (name, (s : Layout_cache.stats)) ->
+            Printf.sprintf " %s %.2fs" name s.Layout_cache.seconds)
+          (Layout_cache.stage_stats ())))
+    lt.Layout_cache.hits lt.Layout_cache.misses
+    (if layout_lookups = 0 then 0.0
+     else 100.0 *. float_of_int lt.Layout_cache.hits /. float_of_int layout_lookups);
   (* Machine-readable counterpart of the lines above: per-stage wall
      clock, Sim_cache counters and per-experiment timings. *)
   let manifest_path = "BENCH_repro.json" in

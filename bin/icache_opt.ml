@@ -534,6 +534,44 @@ let validate_cmd =
         if hits + misses <> lookups then
           fail "sim_cache: hits %d + misses %d <> lookups %d" hits misses lookups
     | None -> fail "manifest: missing sim_cache");
+    (match Json.member "layout" m with
+    | Some lay ->
+        let stages =
+          match Json.member "stages" lay with
+          | Some (Json.List l) -> l
+          | _ -> fail "layout: missing stages list"
+        in
+        List.iter
+          (fun s ->
+            let name =
+              match Json.member "name" s with
+              | Some n -> get_str "layout stage name" n
+              | None -> fail "layout stage: missing name"
+            in
+            let g field =
+              match Json.member field s with
+              | Some v -> get_int ("layout stage " ^ field) v
+              | None -> fail "layout stage %s: missing %s" name field
+            in
+            let hits = g "hits" and misses = g "misses" and lookups = g "lookups" in
+            if hits < 0 || misses < 0 then
+              fail "layout stage %s: negative counters" name;
+            if hits + misses <> lookups then
+              fail "layout stage %s: hits %d + misses %d <> lookups %d" name hits
+                misses lookups;
+            match Json.member "seconds" s with
+            | Some x ->
+                let v = get_float "layout stage seconds" x in
+                if not (v >= 0.0) then fail "layout stage %s: seconds %g < 0" name v
+            | None -> fail "layout stage %s: missing seconds" name)
+          stages;
+        (match Json.member "hit_rate" lay with
+        | Some x ->
+            let v = get_float "layout hit_rate" x in
+            if not (v >= 0.0 && v <= 1.0) then fail "layout hit_rate %g not in [0,1]" v
+        | None -> fail "layout: missing hit_rate")
+    | None ->
+        if schema_version >= 3 then fail "manifest: missing layout (schema v3+)");
     (match Json.member "batch" m with
     | Some b ->
         let g name =

@@ -1,0 +1,165 @@
+type stats = { hits : int; misses : int; seconds : float }
+
+type counters = {
+  name : string;
+  mutable hits : int;
+  mutable misses : int;
+  mutable seconds : float;
+}
+
+(* One lock for every table in the module: stage lookups are O(1) hash
+   probes and digest memos are short physical-identity scans, so a single
+   lock is never contended for long and keeps the invariants (registry
+   order, counter consistency) trivial. Builds run OUTSIDE the lock. *)
+let lock = Mutex.create ()
+let enabled_flag = ref true
+let registry : counters list ref = ref [] (* reverse registration order *)
+let clearers : (unit -> unit) list ref = ref []
+
+let set_enabled b = enabled_flag := b
+
+let enabled () = !enabled_flag
+
+(* ------------------------------------------------------------------ *)
+(* Digests and loop detection                                         *)
+(* ------------------------------------------------------------------ *)
+
+let md5 v = Digest.to_hex (Digest.string (Marshal.to_string v []))
+
+(* Physical-identity memo: the process only ever sees a handful of frozen
+   graphs (the kernel plus a few application images), so a linear scan
+   beats hashing structures that cannot be hashed physically. *)
+let graph_digests : (Graph.t * string) list ref = ref []
+
+let graph_digest g =
+  match
+    Mutex.protect lock (fun () ->
+        List.find_opt (fun (g', _) -> g' == g) !graph_digests)
+  with
+  | Some (_, d) -> d
+  | None ->
+      let d = md5 g in
+      Mutex.protect lock (fun () ->
+          match List.find_opt (fun (g', _) -> g' == g) !graph_digests with
+          | Some (_, d') -> d'
+          | None ->
+              graph_digests := (g, d) :: !graph_digests;
+              d)
+
+(* Profiles are mutable (Profile.accumulate, scale_to's sharing of
+   freshly-built arrays), so a physical memo could serve a stale digest;
+   recompute every time.  The arrays are small next to a single
+   Sequence.build, and staleness here would silently alias layouts. *)
+let profile_digest (p : Profile.t) =
+  md5 (p.Profile.block, p.Profile.arc, p.Profile.total_blocks, p.Profile.invocations)
+
+let loops_tbl : (Graph.t * (Loops.t list * string)) list ref = ref []
+
+let find_loops g = List.find_opt (fun (g', _) -> g' == g) !loops_tbl
+
+let loops g =
+  match Mutex.protect lock (fun () -> find_loops g) with
+  | Some (_, (l, _)) -> l
+  | None ->
+      let l = Loops.find g in
+      let d = md5 l in
+      Mutex.protect lock (fun () ->
+          match find_loops g with
+          | Some (_, (l', _)) -> l' (* racing detection: share the stored list *)
+          | None ->
+              loops_tbl := (g, (l, d)) :: !loops_tbl;
+              l)
+
+let loops_digest g l =
+  match Mutex.protect lock (fun () -> find_loops g) with
+  | Some (_, (l', d)) when l' == l -> d
+  | Some _ | None -> md5 l
+
+(* ------------------------------------------------------------------ *)
+(* Stage tables                                                       *)
+(* ------------------------------------------------------------------ *)
+
+module type STAGE = sig
+  type value
+
+  val name : string
+end
+
+module Stage (S : STAGE) = struct
+  let table : (string, S.value) Hashtbl.t = Hashtbl.create 64
+
+  let c =
+    Mutex.protect lock (fun () ->
+        let c = { name = S.name; hits = 0; misses = 0; seconds = 0.0 } in
+        registry := c :: !registry;
+        clearers := (fun () -> Hashtbl.reset table) :: !clearers;
+        c)
+
+  let find_or_build ~key f =
+    if not !enabled_flag then f ()
+    else
+      match
+        Mutex.protect lock (fun () ->
+            match Hashtbl.find_opt table key with
+            | Some v ->
+                c.hits <- c.hits + 1;
+                Some v
+            | None -> None)
+      with
+      | Some v -> v
+      | None ->
+          let t0 = Unix.gettimeofday () in
+          let v = f () in
+          let dt = Unix.gettimeofday () -. t0 in
+          Mutex.protect lock (fun () ->
+              c.misses <- c.misses + 1;
+              c.seconds <- c.seconds +. dt;
+              match Hashtbl.find_opt table key with
+              | Some v' -> v' (* racing build: everyone shares the stored value *)
+              | None ->
+                  Hashtbl.add table key v;
+                  v)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Statistics                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let stage_stats () =
+  Mutex.protect lock (fun () ->
+      List.rev_map
+        (fun c -> (c.name, { hits = c.hits; misses = c.misses; seconds = c.seconds }))
+        !registry)
+
+let totals () =
+  Mutex.protect lock (fun () ->
+      List.fold_left
+        (fun (acc : stats) c ->
+          {
+            hits = acc.hits + c.hits;
+            misses = acc.misses + c.misses;
+            seconds = acc.seconds +. c.seconds;
+          })
+        { hits = 0; misses = 0; seconds = 0.0 }
+        !registry)
+
+let reset_stats () =
+  Mutex.protect lock (fun () ->
+      List.iter
+        (fun c ->
+          c.hits <- 0;
+          c.misses <- 0;
+          c.seconds <- 0.0)
+        !registry)
+
+let clear () =
+  Mutex.protect lock (fun () ->
+      List.iter (fun f -> f ()) !clearers;
+      graph_digests := [];
+      loops_tbl := [];
+      List.iter
+        (fun c ->
+          c.hits <- 0;
+          c.misses <- 0;
+          c.seconds <- 0.0)
+        !registry)

@@ -34,16 +34,21 @@ type cursor = {
   hole : int;
   mutable at : int;
   mutable holes : (int * int) list;  (* (start, size), reverse order *)
+  seen : (int, unit) Hashtbl.t;  (* hole starts already recorded *)
 }
 
-let cursor ~cache ~hole ~start = { cache; hole; at = start; holes = [] }
+let cursor ~cache ~hole ~start =
+  { cache; hole; at = start; holes = []; seen = Hashtbl.create 16 }
 
 let rec fit c size =
   let off = c.at mod c.cache in
   if c.hole > 0 && c.at >= c.cache && off < c.hole then begin
     (* Entering a reserved hole: skip it, remembering the span. *)
     let start = c.at - off in
-    if not (List.mem_assoc start c.holes) then c.holes <- (start, c.hole) :: c.holes;
+    if not (Hashtbl.mem c.seen start) then begin
+      Hashtbl.add c.seen start ();
+      c.holes <- (start, c.hole) :: c.holes
+    end;
     c.at <- start + c.hole;
     fit c size
   end
@@ -58,18 +63,51 @@ let rec fit c size =
     addr
   end
 
-let layout ~graph:g ~profile:p ~loops ~seed_entry ~schedule ?(exclude = fun _ -> false)
-    ?(follow_calls = true) params =
-  let sequences = Sequence.build ~graph:g ~profile:p ~seed_entry ~schedule ~follow_calls () in
+(* ------------------------------------------------------------------ *)
+(* Staged construction                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* The layout decomposes into stages with strictly shrinking input sets
+   (Layout_cache's doc lists them), each memoized on a digest of exactly
+   what it consumes.  Registration order below is pipeline order, which
+   is also the order the run manifest reports. *)
+
+module Seq_cache = Layout_cache.Stage (struct
+  type value = Sequence.t list
+
+  let name = "sequences"
+end)
+
+module Scf_cache = Layout_cache.Stage (struct
+  type value = Block.id list
+
+  let name = "scf"
+end)
+
+module Loop_mark_cache = Layout_cache.Stage (struct
+  type value = Loopstat.info list
+
+  let name = "loop_mark"
+end)
+
+module Place_cache = Layout_cache.Stage (struct
+  type value = result
+
+  let name = "place"
+end)
+
+let digest_key v = Digest.to_hex (Digest.string (Marshal.to_string v []))
+
+(* Assemble a layout from the (individually cached) stage outputs.  This
+   is the original monolithic construction, with sequence construction,
+   raw SCF selection and the Loopstat pass factored out so they can be
+   shared across parameter sweeps. *)
+let assemble ~graph:g ~profile:p ~sequences ~select_scf ~loop_infos ~exclude params =
   let scf_blocks, scf_bytes =
     match params.scf_cutoff with
     | None -> ([], 0)
     | Some cutoff ->
-        let blocks =
-          List.filter
-            (fun b -> not (exclude b))
-            (Scf.select ~graph:g ~profile:p ~loops ~cutoff)
-        in
+        let blocks = List.filter (fun b -> not (exclude b)) (select_scf cutoff) in
         (blocks, Scf.bytes g blocks)
   in
   let in_scf = Array.make (Graph.block_count g) false in
@@ -77,7 +115,7 @@ let layout ~graph:g ~profile:p ~loops ~seed_entry ~schedule ?(exclude = fun _ ->
   (* Loop extraction: mark qualifying loops' bodies. *)
   let in_loop_area = Array.make (Graph.block_count g) false in
   if params.extract_loops then begin
-    let infos = Loopstat.analyze g p loops in
+    let infos = loop_infos () in
     List.iter
       (fun (i : Loopstat.info) ->
         if i.Loopstat.iterations_per_invocation >= params.min_loop_iterations then
@@ -154,22 +192,72 @@ let layout ~graph:g ~profile:p ~loops ~seed_entry ~schedule ?(exclude = fun _ ->
   List.iter place_cold coldest;
   { map; sequences; scf_blocks; scf_bytes; loop_blocks }
 
+let layout ~graph:g ~profile:p ~loops ~seed_entry ~schedule ?exclude
+    ?(follow_calls = true) params =
+  let gd = Layout_cache.graph_digest g in
+  let pd = Layout_cache.profile_digest p in
+  let ld = Layout_cache.loops_digest g loops in
+  (* Sequence construction consumes [seed_entry] only through the seed
+     block of each pass, so materializing those blocks turns the function
+     into digestible data. *)
+  let seeds =
+    List.map (fun (pass : Schedule.pass) -> seed_entry pass.Schedule.service) schedule
+  in
+  let seq_key =
+    digest_key (gd, pd, (schedule : Schedule.pass list), follow_calls, (seeds : Block.id list))
+  in
+  let sequences =
+    Seq_cache.find_or_build ~key:seq_key (fun () ->
+        Sequence.build ~graph:g ~profile:p ~seed_entry ~schedule ~follow_calls ())
+  in
+  (* SCF selection and the Loopstat pass are cached on their raw
+     (exclusion-free) outputs; [assemble] applies the exclusion filter and
+     iteration threshold afterwards, so a Call-optimization build with a
+     custom [exclude] still shares them. *)
+  let select_scf cutoff =
+    Scf_cache.find_or_build ~key:(digest_key (gd, pd, ld, cutoff)) (fun () ->
+        Scf.select ~graph:g ~profile:p ~loops ~cutoff)
+  in
+  let loop_infos () =
+    Loop_mark_cache.find_or_build ~key:(digest_key (gd, pd, ld)) (fun () ->
+        Loopstat.analyze g p loops)
+  in
+  match exclude with
+  | Some exclude ->
+      (* The exclusion predicate is opaque, so the assembled result is not
+         content-addressable; only the sub-stages are shared. *)
+      assemble ~graph:g ~profile:p ~sequences ~select_scf ~loop_infos ~exclude params
+  | None ->
+      (* [seq_key] covers graph and profile, [ld] the loop set, and the
+         parameter record everything geometry-dependent, so together they
+         determine the whole placement. *)
+      let place_key = digest_key (seq_key, ld, (params : params)) in
+      Place_cache.find_or_build ~key:place_key (fun () ->
+          let r =
+            assemble ~graph:g ~profile:p ~sequences ~select_scf ~loop_infos
+              ~exclude:(fun _ -> false)
+              params
+          in
+          (* Validate once per actual construction: a placement served
+             from the place cache was validated when it was built.  The
+             exclude path above is left unvalidated on purpose — its maps
+             are incomplete by design until the caller (Call_opt) places
+             the blocks it claimed. *)
+          Address_map.validate r.map;
+          r)
+
 let os_layout ?(schedule = Schedule.paper) ?(follow_calls = true) ~model ~profile ~loops
     params =
   let seed_entry c = (Model.seed_for model c).Model.entry in
-  let r =
-    layout ~graph:model.Model.graph ~profile ~loops ~seed_entry ~schedule ~follow_calls
-      params
-  in
-  Address_map.validate r.map;
-  r
+  layout ~graph:model.Model.graph ~profile ~loops ~seed_entry ~schedule ~follow_calls
+    params
 
 let app_schedule =
   Schedule.uniform ~levels:[ (1e-3, 0.4); (1e-4, 0.1); (1e-7, 0.01); (0.0, 0.0) ]
 
 let app_layout ~app ~profile ?stagger:(k = 0) ?(addr_skew = 0) params =
   let g = app.App_model.graph in
-  let loops = Loops.find g in
+  let loops = Layout_cache.loops g in
   let entry = Graph.entry_of g app.App_model.main in
   (* Distinct images are staggered within the cache so two compact
      optimized applications time-sharing the processor do not overlap
@@ -182,9 +270,5 @@ let app_layout ~app ~profile ?stagger:(k = 0) ?(addr_skew = 0) params =
   let params =
     { params with scf_cutoff = None; extract_loops = true; start_offset = start }
   in
-  let r =
-    layout ~graph:g ~profile ~loops ~seed_entry:(fun _ -> entry) ~schedule:app_schedule
-      params
-  in
-  Address_map.validate r.map;
-  r
+  layout ~graph:g ~profile ~loops ~seed_entry:(fun _ -> entry) ~schedule:app_schedule
+    params

@@ -14,7 +14,17 @@
     The same machinery lays out applications (OptA): no SelfConfFree area,
     the routine [main] as the only seed, and a non-zero [start_offset] so
     application sequences begin on the opposite side of the cache from the
-    OS's hot code. *)
+    OS's hot code.
+
+    Construction is {e staged} through {!Layout_cache}: sequence
+    construction, SelfConfFree selection, the loop-statistics pass and
+    the final placement each memoize on a digest of exactly the inputs
+    they consume.  A geometry sweep (varying [cache_size] or
+    [scf_cutoff]) therefore rebuilds only the stages whose inputs
+    changed; two calls with equal inputs share one physically-identical
+    (immutable) result.  {!Address_map.validate} runs once per actual
+    construction, inside the placement stage's build — a cache hit
+    returns a map that was validated when it was first built. *)
 
 type params = {
   cache_size : int;  (** Logical-cache granularity. *)
@@ -54,7 +64,10 @@ val layout :
 (** [exclude] removes blocks from sequence placement entirely (used by the
     Section 4.4 "Call" optimization, which places them itself; excluded
     blocks must be placed into the returned map by the caller before
-    validation). *)
+    validation).  An [exclude] predicate is opaque to the content
+    addressing, so such a call bypasses the placement cache (the caller
+    may then mutate the returned map safely) while still sharing the
+    sequence/SCF/loop sub-stages. *)
 
 val os_layout :
   ?schedule:Schedule.pass list -> ?follow_calls:bool ->

@@ -57,4 +57,5 @@ val digest : t -> string
     results regardless of how or when the layout was built. *)
 
 val os_loops : Model.t -> Loops.t list
-(** Natural loops of the kernel graph (memoized per model). *)
+(** Natural loops of the kernel graph ({!Layout_cache.loops} on the
+    model's graph: memoized per graph, safe under parallel builds). *)

@@ -139,8 +139,7 @@ let build ~graph:g ~profile:p ~seed_entry ~schedule ?(follow_calls = true) () =
     { pass; blocks; bytes = !bytes }
   in
   let n = List.length schedule in
-  List.filteri (fun _ _ -> true) schedule
-  |> List.mapi (fun i pass -> build_pass ~final:(i = n - 1) pass)
+  List.mapi (fun i pass -> build_pass ~final:(i = n - 1) pass) schedule
   |> List.filter (fun s -> Array.length s.blocks > 0)
 
 let covered g seqs =

@@ -28,22 +28,38 @@ let of_string s =
 let memo : (string, Program_layout.t array) Hashtbl.t = Hashtbl.create 16
 let memo_lock = Mutex.create ()
 
-let build_uncached (ctx : Context.t) ~params level =
+let build_uncached (ctx : Context.t) ?jobs ~params level =
   let model = ctx.Context.model in
   let os_profile = ctx.Context.avg_os_profile in
-  Array.map
-    (fun ((_w : Workload.t), program) ->
-      match level with
-      | Base -> Program_layout.base ~model ~program
-      | CH -> Program_layout.chang_hwu ~model ~program ~os_profile
-      | OptS -> Program_layout.opt_s ~model ~program ~os_profile ~params ()
-      | OptL -> Program_layout.opt_l ~model ~program ~os_profile ~params ()
-      | OptA ->
-          let app_profiles =
-            Array.map ctx.Context.avg_app_profile program.Program.apps
-          in
-          Program_layout.opt_a ~model ~program ~os_profile ~app_profiles ~params ())
-    ctx.Context.pairs
+  let build ((_w : Workload.t), program) =
+    match level with
+    | Base -> Program_layout.base ~model ~program
+    | CH -> Program_layout.chang_hwu ~model ~program ~os_profile
+    | OptS -> Program_layout.opt_s ~model ~program ~os_profile ~params ()
+    | OptL -> Program_layout.opt_l ~model ~program ~os_profile ~params ()
+    | OptA ->
+        let app_profiles =
+          Array.map ctx.Context.avg_app_profile program.Program.apps
+        in
+        Program_layout.opt_a ~model ~program ~os_profile ~app_profiles ~params ()
+  in
+  let pairs = ctx.Context.pairs in
+  if Array.length pairs <= 1 then Array.map build pairs
+  else begin
+    (* Warm the shared OS-side stage caches on the first pair before
+       fanning out: every workload of a level shares the same OS
+       placement, so without the warm-up each domain would race to
+       rebuild it (correct — first store wins — but wasted work).  The
+       fan-out then parallelizes only the genuinely per-workload part
+       (application placements). *)
+    let first = build pairs.(0) in
+    let rest =
+      Parallel.map_array ?jobs
+        (fun _ pair -> build pair)
+        (Array.sub pairs 1 (Array.length pairs - 1))
+    in
+    Array.append [| first |] rest
+  end
 
 let build ctx ?(params = Opt.params ()) level =
   (* Base and C-H never consume [params] (see [build_uncached]), so their

@@ -17,7 +17,19 @@ val build : Context.t -> ?params:Opt.params -> level -> Program_layout.t array
 (** One program layout per workload, in workload order.  Memoized on
     ({!Context.key}, level, params): experiments that rebuild the same
     level share one layout array instead of re-running the placement
-    algorithms. *)
+    algorithms.  Underneath, construction is staged through
+    {!Layout_cache}, so even distinct memo keys (a cache-size sweep, a
+    SelfConfFree sweep, OptS vs OptL vs OptA) share the stages whose
+    inputs did not change, and the per-workload placements of a miss are
+    built in parallel under [--jobs]. *)
+
+val build_uncached :
+  Context.t -> ?jobs:int -> params:Opt.params -> level -> Program_layout.t array
+(** The construction behind {!build}, bypassing the whole-array memo (the
+    staged {!Layout_cache} layer still applies unless disabled).  The
+    first workload is built alone to warm the shared OS-side stage
+    caches; the rest fan out over [jobs] domains.  Exposed for the
+    staged-equals-monolithic equivalence tests. *)
 
 val build_opt_s_with : Context.t -> params:Opt.params -> Program_layout.t array
 (** OptS with explicit parameters (SelfConfFree sweeps, cache-size

@@ -91,11 +91,18 @@ let to_json () =
           List.rev !experiments,
           { batch_stats with calls = batch_stats.calls } ))
   in
-  (* Sample the cache outside the manifest lock: Sim_cache has its own. *)
+  (* Sample the caches outside the manifest lock: each has its own. *)
   let hits = Sim_cache.hits () and misses = Sim_cache.misses () in
+  let layout_stages = Layout_cache.stage_stats () in
+  let layout_totals = Layout_cache.totals () in
+  let layout_hit_rate =
+    let lookups = layout_totals.Layout_cache.hits + layout_totals.Layout_cache.misses in
+    if lookups = 0 then 0.0
+    else float_of_int layout_totals.Layout_cache.hits /. float_of_int lookups
+  in
   Json.Obj
     [
-      ("schema_version", Json.Int 2);
+      ("schema_version", Json.Int 3);
       ( "run",
         match run with
         | None -> Json.Null
@@ -127,6 +134,25 @@ let to_json () =
             ("misses", Json.Int misses);
             ("lookups", Json.Int (hits + misses));
             ("hit_rate", Json.Float (Sim_cache.hit_rate ()));
+          ] );
+      ( "layout",
+        Json.Obj
+          [
+            ( "stages",
+              Json.List
+                (List.map
+                   (fun (name, (s : Layout_cache.stats)) ->
+                     Json.Obj
+                       [
+                         ("name", Json.String name);
+                         ("hits", Json.Int s.Layout_cache.hits);
+                         ("misses", Json.Int s.Layout_cache.misses);
+                         ( "lookups",
+                           Json.Int (s.Layout_cache.hits + s.Layout_cache.misses) );
+                         ("seconds", Json.Float s.Layout_cache.seconds);
+                       ])
+                   layout_stages) );
+            ("hit_rate", Json.Float layout_hit_rate);
           ] );
       ( "batch",
         Json.Obj

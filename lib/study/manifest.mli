@@ -12,12 +12,16 @@
 
     JSON schema (see DESIGN.md for a worked example):
     {v
-    { "schema_version": 2,
+    { "schema_version": 3,
       "run": { "spec_seed": int, "spec_digest": hex, "words": int,
                "seed": int, "jobs": int, "context_key": hex } | null,
       "stages": [ { "name": string, "count": int, "seconds": float } ],
       "sim_cache": { "hits": int, "misses": int, "lookups": int,
                      "hit_rate": float },
+      "layout": { "stages": [ { "name": string, "hits": int,
+                                "misses": int, "lookups": int,
+                                "seconds": float } ],
+                  "hit_rate": float },
       "batch": { "calls": int, "members": int, "cache_hits": int,
                  "simulated": int, "replay_passes": int,
                  "passes_saved": int, "events_replayed": int,
@@ -31,9 +35,16 @@
     (workload x member) replay passes / decoded trace events the fused
     path spent versus what per-member sequential replay would have cost.
 
+    The [layout] object (schema v3) samples {!Layout_cache}: one entry
+    per construction stage of the staged layout pipeline (sequences, SCF
+    selection, the loop-statistics pass, placement, and the shared C-H
+    OS placement), with per-stage hit/miss/lookup counters and the
+    wall-clock spent building values on misses.
+
     Invariants (checked by [icache-opt validate] and the test suite):
     every [seconds] and every [count] is non-negative,
-    [sim_cache.hits + sim_cache.misses = sim_cache.lookups], and
+    [sim_cache.hits + sim_cache.misses = sim_cache.lookups], each layout
+    stage's [hits + misses = lookups], and
     [batch.cache_hits + batch.simulated <= batch.members]. *)
 
 val time : string -> (unit -> 'a) -> 'a

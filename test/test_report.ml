@@ -235,7 +235,26 @@ let test_manifest_invariants () =
     | Some v -> v
     | None -> Alcotest.failf "sim_cache %s not an int" n
   in
-  check_int "hits + misses = lookups" (geti "lookups") (geti "hits" + geti "misses")
+  check_int "hits + misses = lookups" (geti "lookups") (geti "hits" + geti "misses");
+  (* Schema v3: the layout object mirrors Layout_cache per stage. *)
+  let lay = member "layout" m in
+  (match member "stages" lay with
+  | Json.List l ->
+      List.iter
+        (fun s ->
+          let geti n =
+            match Json.to_int (member n s) with
+            | Some v -> v
+            | None -> Alcotest.failf "layout stage %s not an int" n
+          in
+          check_int "layout hits + misses = lookups" (geti "lookups")
+            (geti "hits" + geti "misses");
+          check_bool "layout stage seconds >= 0" true
+            (match Json.to_float (member "seconds" s) with
+            | Some x -> x >= 0.0
+            | None -> false))
+        l
+  | _ -> Alcotest.fail "layout stages is not a list")
 
 let test_manifest_experiment_timing () =
   let ctx = Lazy.force small_context in
