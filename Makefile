@@ -1,4 +1,4 @@
-.PHONY: all build test check validate bench clean
+.PHONY: all build test check validate trace bench clean
 
 all: build
 
@@ -19,15 +19,29 @@ check: build
 # End-to-end check of the structured output path: run the full repro as
 # JSON and make sure every report parses back and the run manifest's
 # invariants hold (stage seconds >= 0, sim-cache hits + misses = lookups,
-# batch cache_hits + simulated <= members, and per layout stage
-# hits + misses = lookups with seconds >= 0).  Run single- and
-# multi-domain so the fused batch replay and the parallel staged layout
-# builds are validated under both fan-out modes.
+# batch cache_hits + simulated <= members, per layout stage
+# hits + misses = lookups with seconds >= 0, metrics counters consistent,
+# GC sample present).  The same runs record a span trace (--trace), which
+# is then validated too: begin/end balanced per track, durations
+# non-negative, no unclosed spans.  Run single- and multi-domain so the
+# fused batch replay, the parallel staged layout builds and the
+# per-worker trace tracks are validated under both fan-out modes.
 validate: build
 	ICACHE_JOBS=1 _build/default/bin/icache_opt.exe repro --small --words 60000 --format json \
+	  --trace _build/trace_j1.json \
 	  | _build/default/bin/icache_opt.exe validate
+	_build/default/bin/icache_opt.exe validate _build/trace_j1.json
 	ICACHE_JOBS=4 _build/default/bin/icache_opt.exe repro --small --words 60000 --format json \
+	  --trace _build/trace_j4.json \
 	  | _build/default/bin/icache_opt.exe validate
+	_build/default/bin/icache_opt.exe validate _build/trace_j4.json
+
+# Capture a span timeline of the small repro and print its hot spans.
+# The Chrome-format trace lands in _build/trace.json: load it in
+# https://ui.perfetto.dev or summarize with `icache-opt trace-summary`.
+trace: build
+	_build/default/bin/icache_opt.exe repro --small --trace _build/trace.json
+	_build/default/bin/icache_opt.exe trace-summary _build/trace.json
 
 bench:
 	dune exec bench/main.exe -- --no-timing

@@ -72,13 +72,34 @@ let run_experiments ctx ids =
     lt.Layout_cache.hits lt.Layout_cache.misses
     (if layout_lookups = 0 then 0.0
      else 100.0 *. float_of_int lt.Layout_cache.hits /. float_of_int layout_lookups);
+  (* Allocation pressure of the whole run, so a GC regression shows up in
+     the transcript as well as the manifest's run.gc object. *)
+  let g = Gc.quick_stat () in
+  Printf.printf
+    "=== gc: %d minor / %d major collections | %.0fM minor words, %.0fM promoted | peak heap %.1fMB ===\n%!"
+    g.Gc.minor_collections g.Gc.major_collections
+    (g.Gc.minor_words /. 1e6) (g.Gc.promoted_words /. 1e6)
+    (float_of_int g.Gc.top_heap_words *. float_of_int (Sys.word_size / 8) /. 1e6);
   (* Machine-readable counterpart of the lines above: per-stage wall
-     clock, Sim_cache counters and per-experiment timings. *)
+     clock, Sim_cache counters, per-experiment timings and (schema v4)
+     the metrics-registry snapshot plus GC statistics. *)
   let manifest_path = "BENCH_repro.json" in
   Out.with_file manifest_path (fun oc ->
       output_string oc (Json.to_string (Manifest.to_json ()));
       output_char oc '\n');
-  Printf.printf "run manifest written to %s\n%!" manifest_path
+  Printf.printf "run manifest written to %s\n%!" manifest_path;
+  (* The span timeline of the same run, viewable in Perfetto and
+     summarized by `icache-opt trace-summary`. *)
+  let trace_path = "BENCH_trace.json" in
+  Out.with_file trace_path (fun oc ->
+      output_string oc
+        (Json.to_string ~minify:true
+           (Trace_log.to_chrome
+              ~extra:[ ("metrics", Metrics_registry.to_json ()) ]
+              ()));
+      output_char oc '\n');
+  Printf.printf "span trace written to %s (%d spans)\n%!" trace_path
+    (Trace_log.span_count ())
 
 let timing ctx =
   let open Bechamel in
@@ -153,6 +174,9 @@ let () =
   let words = words_from_env () in
   Printf.printf "Reproduction harness: %d instruction words per workload, %d jobs\n%!"
     words (Parallel.default_jobs ());
+  (* Record the span timeline for BENCH_trace.json; spans only observe,
+     and the per-span cost is far below Bechamel's noise floor. *)
+  Trace_log.set_enabled true;
   let t0 = wall () in
   let ctx = Context.create ~words () in
   Printf.printf "context built in %.1fs (wall)\n%!" (wall () -. t0);

@@ -45,6 +45,80 @@ let format_conv =
   let print ppf f = Format.pp_print_string ppf (Result.format_to_string f) in
   Arg.conv ~docv:"FORMAT" (parse, print)
 
+(* Malformed --trace document; both trace-summary and validate turn this
+   into their own error reporting. *)
+exception Trace_error of string
+
+let tfail fmt = Printf.ksprintf (fun s -> raise (Trace_error s)) fmt
+
+(* Decode the traceEvents list of a Chrome trace document into
+   (name, phase, ts, tid) tuples, in file order (which is the recording
+   order).  Raises {!Trace_error} on shape problems. *)
+let chrome_events doc =
+  match Json.member "traceEvents" doc with
+  | Some (Json.List l) ->
+      List.mapi
+        (fun i e ->
+          let str field =
+            match Option.bind (Json.member field e) Json.to_str with
+            | Some s -> s
+            | None -> tfail "event %d: missing %s" i field
+          in
+          let name = str "name" in
+          let ph = str "ph" in
+          let ts =
+            match Option.bind (Json.member "ts" e) Json.to_float with
+            | Some f -> f
+            | None -> tfail "event %d (%s): missing ts" i name
+          in
+          let tid =
+            match Option.bind (Json.member "tid" e) Json.to_int with
+            | Some t -> t
+            | None -> tfail "event %d (%s): missing tid" i name
+          in
+          (name, ph, ts, tid))
+        l
+  | _ -> tfail "trace: missing traceEvents list"
+
+(* Replay a decoded event stream against per-track span stacks, calling
+   [on_span name tid dur_us] for every balanced begin/end pair; raises
+   {!Trace_error} on malformed nesting.  Returns the open stacks for the
+   caller to check emptiness. *)
+let fold_spans ~on_span events =
+  let stacks : (int, (string * float) list ref) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (name, ph, ts, tid) ->
+      let stack =
+        match Hashtbl.find_opt stacks tid with
+        | Some s -> s
+        | None ->
+            let s = ref [] in
+            Hashtbl.add stacks tid s;
+            s
+      in
+      match ph with
+      | "B" -> stack := (name, ts) :: !stack
+      | "E" -> (
+          match !stack with
+          | (n, t0) :: rest when n = name ->
+              stack := rest;
+              on_span name tid (ts -. t0)
+          | (n, _) :: _ ->
+              tfail "track %d: end of %S does not match innermost open span %S" tid
+                name n
+          | [] -> tfail "track %d: end of %S with no open span" tid name)
+      | other -> tfail "event %s: unsupported phase %S" name other)
+    events;
+  stacks
+
+let trace_arg =
+  let doc =
+    "Record a span timeline of the run and write it to $(docv) as Chrome \
+     trace-event JSON (one track per worker domain; open in Perfetto or \
+     chrome://tracing, or summarize with $(b,icache-opt trace-summary))."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
 let make_context ~small ~words ~seed ~jobs =
   Option.iter Parallel.set_jobs jobs;
   let spec = if small then Spec.small else Spec.default in
@@ -54,6 +128,29 @@ let write_manifest path =
   Out.with_file path (fun oc ->
       output_string oc (Json.to_string (Manifest.to_json ()));
       output_char oc '\n')
+
+(* The trace document is the Chrome trace plus the metrics snapshot under
+   an extra key viewers ignore, so one artifact carries both the timeline
+   and the histogram/counter summary trace-summary prints. *)
+let start_trace trace = if trace <> None then Trace_log.set_enabled true
+
+let finish_trace trace =
+  Option.iter
+    (fun path ->
+      Out.with_file path (fun oc ->
+          (* Minified: traces carry thousands of events and viewers never
+             show the raw text. *)
+          output_string oc
+            (Json.to_string ~minify:true
+               (Trace_log.to_chrome
+                  ~extra:[ ("metrics", Metrics_registry.to_json ()) ]
+                  ()));
+          output_char oc '\n');
+      (* stderr: stdout may be a piped JSON report stream. *)
+      if path <> "-" then
+        Printf.eprintf "wrote %s (%d spans; open in https://ui.perfetto.dev)\n%!"
+          path (Trace_log.span_count ()))
+    trace
 
 (* ------------------------------------------------------------------ *)
 (* list                                                               *)
@@ -90,7 +187,8 @@ let repro_cmd =
     in
     Arg.(value & opt (some string) None & info [ "out" ] ~docv:"DIR" ~doc)
   in
-  let run words seed small jobs format out ids =
+  let run words seed small jobs format out trace ids =
+    start_trace trace;
     let ctx = make_context ~small ~words ~seed ~jobs in
     let exps =
       match ids with
@@ -105,7 +203,7 @@ let repro_cmd =
                   exit 1)
             ids
     in
-    match out with
+    (match out with
     | Some dir ->
         (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
         List.iter
@@ -140,13 +238,14 @@ let repro_cmd =
             List.iter
               (fun e ->
                 print_string (Result.render Result.Csv (Experiments.compute e ctx)))
-              exps)
+              exps));
+    finish_trace trace
   in
   Cmd.v
     (Cmd.info "repro" ~doc:"Regenerate the paper's tables and figures")
     Term.(
       const run $ words_arg $ seed_arg $ small_arg $ jobs_arg $ format_arg
-      $ out_arg $ ids_arg)
+      $ out_arg $ trace_arg $ ids_arg)
 
 (* ------------------------------------------------------------------ *)
 (* simulate                                                           *)
@@ -308,7 +407,8 @@ let sweep_cmd =
     let doc = "Output file ('-' = stdout)." in
     Arg.(value & opt string "-" & info [ "o"; "output" ] ~docv:"FILE" ~doc)
   in
-  let run words seed small jobs sizes assocs lines levels format out =
+  let run words seed small jobs sizes assocs lines levels format out trace =
+    start_trace trace;
     let ctx = make_context ~small ~words ~seed ~jobs in
     let columns =
       List.map
@@ -374,14 +474,15 @@ let sweep_cmd =
         [ Result.Table { title = None; columns; rows = List.rev !rows } ]
     in
     Out.with_file out (fun oc -> output_string oc (Result.render format report));
-    if out <> "-" then Printf.printf "wrote %s\n" out
+    if out <> "-" then Printf.printf "wrote %s\n" out;
+    finish_trace trace
   in
   Cmd.v
     (Cmd.info "sweep"
        ~doc:"Cross-product cache/layout sweep, one CSV row per cell")
     Term.(
       const run $ words_arg $ seed_arg $ small_arg $ jobs_arg $ sizes_arg
-      $ assocs_arg $ lines_arg $ levels_arg $ format_arg $ out_arg)
+      $ assocs_arg $ lines_arg $ levels_arg $ format_arg $ out_arg $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* profile                                                            *)
@@ -464,6 +565,107 @@ let characterize_cmd =
     Term.(const run $ words_arg $ seed_arg $ small_arg $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
+(* trace-summary                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let trace_summary_cmd =
+  let file_arg =
+    let doc = "Chrome trace JSON written by --trace ('-' = stdin)." in
+    Arg.(value & pos 0 string "-" & info [] ~docv:"FILE" ~doc)
+  in
+  let top_arg =
+    let doc = "How many spans to print (by total time)." in
+    Arg.(value & opt int 15 & info [ "top" ] ~docv:"N" ~doc)
+  in
+  let run file top =
+    let fail msg =
+      Printf.eprintf "trace-summary: %s\n" msg;
+      exit 1
+    in
+    let text =
+      if file = "-" then In_channel.input_all stdin
+      else In_channel.with_open_bin file In_channel.input_all
+    in
+    let doc = match Json.of_string text with Ok d -> d | Error e -> fail e in
+    let events = try chrome_events doc with Trace_error e -> fail e in
+    (* name -> (count, total us, max us) *)
+    let totals : (string, int * float * float) Hashtbl.t = Hashtbl.create 32 in
+    let tracks : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+    List.iter (fun (_, _, _, tid) -> Hashtbl.replace tracks tid ()) events;
+    (try
+       ignore
+         (fold_spans
+            ~on_span:(fun name _tid dur ->
+              let c, t, m =
+                match Hashtbl.find_opt totals name with
+                | Some x -> x
+                | None -> (0, 0.0, 0.0)
+              in
+              Hashtbl.replace totals name (c + 1, t +. dur, Float.max m dur))
+            events)
+     with Trace_error e -> fail e);
+    let rows = Hashtbl.fold (fun n x acc -> (n, x) :: acc) totals [] in
+    let rows =
+      List.sort (fun (_, (_, a, _)) (_, (_, b, _)) -> compare b a) rows
+    in
+    let span_total = List.fold_left (fun acc (_, (_, t, _)) -> acc +. t) 0.0 rows in
+    Printf.printf "%d events, %d spans on %d track(s), %.2fs of span time\n\n"
+      (List.length events)
+      (List.fold_left (fun acc (_, (c, _, _)) -> acc + c) 0 rows)
+      (Hashtbl.length tracks) (span_total /. 1e6);
+    Printf.printf "  %10s %8s %12s %12s  %s\n" "total s" "count" "mean ms" "max ms" "span";
+    List.iteri
+      (fun i (name, (count, total, max_us)) ->
+        if i < top then
+          Printf.printf "  %10.3f %8d %12.3f %12.3f  %s\n" (total /. 1e6) count
+            (total /. float_of_int count /. 1e3)
+            (max_us /. 1e3) name)
+      rows;
+    match Json.member "metrics" doc with
+    | None -> ()
+    | Some mx ->
+        (match Json.member "counters" mx with
+        | Some (Json.Obj kvs) when kvs <> [] ->
+            Printf.printf "\ncounters:\n";
+            List.iter
+              (fun (n, v) ->
+                match Json.to_int v with
+                | Some i -> Printf.printf "  %-32s %12d\n" n i
+                | None -> ())
+              kvs
+        | _ -> ());
+        (match Json.member "histograms" mx with
+        | Some (Json.Obj hs) when hs <> [] ->
+            Printf.printf "\nhistograms:\n";
+            Printf.printf "  %-32s %8s %12s %12s %12s %12s  %s\n" "" "count" "mean"
+              "p50" "p90" "p99" "unit";
+            List.iter
+              (fun (n, h) ->
+                let f field =
+                  match Option.bind (Json.member field h) Json.to_float with
+                  | Some x -> x
+                  | None -> 0.0
+                in
+                let unit_ =
+                  Option.value ~default:""
+                    (Option.bind (Json.member "unit" h) Json.to_str)
+                in
+                let count =
+                  match Option.bind (Json.member "count" h) Json.to_int with
+                  | Some c -> c
+                  | None -> 0
+                in
+                Printf.printf "  %-32s %8d %12.4g %12.4g %12.4g %12.4g  %s\n" n
+                  count (f "mean") (f "p50") (f "p90") (f "p99") unit_)
+              hs
+        | _ -> ())
+  in
+  Cmd.v
+    (Cmd.info "trace-summary"
+       ~doc:"Summarize a --trace file: hot spans and metric distributions")
+    Term.(const run $ file_arg $ top_arg)
+
+(* ------------------------------------------------------------------ *)
 (* validate                                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -487,6 +689,71 @@ let validate_cmd =
   in
   let get_str what j =
     match Json.to_str j with Some s -> s | None -> fail "%s: expected a string" what
+  in
+  (* Shared by the manifest path (schema v4 embeds a snapshot) and the
+     trace path (--trace files carry one under "metrics"). *)
+  let check_metrics mx =
+    let counters =
+      match Json.member "counters" mx with
+      | Some (Json.Obj kvs) -> kvs
+      | _ -> fail "metrics: missing counters object"
+    in
+    List.iter
+      (fun (n, v) ->
+        match Json.to_int v with
+        | Some i -> if i < 0 then fail "metrics counter %s: %d < 0" n i
+        | None -> fail "metrics counter %s: not an integer" n)
+      counters;
+    let value n = Option.bind (List.assoc_opt n counters) Json.to_int in
+    List.iter
+      (fun prefix ->
+        match
+          ( value (prefix ^ ".hits"),
+            value (prefix ^ ".misses"),
+            value (prefix ^ ".lookups") )
+        with
+        | Some h, Some m, Some l ->
+            if h + m <> l then
+              fail "metrics: %s hits %d + misses %d <> lookups %d" prefix h m l
+        | None, None, None -> ()
+        | _ -> fail "metrics: incomplete %s hits/misses/lookups trio" prefix)
+      [ "sim_cache"; "layout_cache" ];
+    match Json.member "histograms" mx with
+    | Some (Json.Obj hs) ->
+        List.iter
+          (fun (n, h) ->
+            let gf field =
+              match Option.bind (Json.member field h) Json.to_float with
+              | Some f -> f
+              | None -> fail "metrics histogram %s: missing %s" n field
+            in
+            let count =
+              match Option.bind (Json.member "count" h) Json.to_int with
+              | Some c -> c
+              | None -> fail "metrics histogram %s: missing count" n
+            in
+            if count < 0 then fail "metrics histogram %s: count %d < 0" n count;
+            let p50 = gf "p50" and p90 = gf "p90" and p99 = gf "p99" in
+            if not (p50 <= p90 && p90 <= p99) then
+              fail "metrics histogram %s: percentiles not monotone (%g/%g/%g)" n p50
+                p90 p99;
+            if count > 0 && not (gf "min" <= gf "max") then
+              fail "metrics histogram %s: min > max" n)
+          hs
+    | _ -> fail "metrics: missing histograms object"
+  in
+  let check_gc g =
+    List.iter
+      (fun field ->
+        match Json.member field g with
+        | Some v ->
+            let x = get_float ("gc " ^ field) v in
+            if not (x >= 0.0) then fail "gc %s: %g < 0" field x
+        | None -> fail "gc: missing %s" field)
+      [
+        "minor_collections"; "major_collections"; "compactions"; "minor_words";
+        "promoted_words"; "major_words"; "heap_words"; "top_heap_words";
+      ]
   in
   let check_manifest m =
     let schema_version =
@@ -601,6 +868,16 @@ let validate_cmd =
             | None -> fail "experiment entry: missing seconds")
           l
     | _ -> fail "manifest: missing experiments list");
+    (match Json.member "metrics" m with
+    | Some mx -> check_metrics mx
+    | None ->
+        if schema_version >= 4 then fail "manifest: missing metrics (schema v4+)");
+    (match Json.member "run" m with
+    | Some Json.Null | None -> ()
+    | Some r -> (
+        match Json.member "gc" r with
+        | Some g -> check_gc g
+        | None -> if schema_version >= 4 then fail "run: missing gc (schema v4+)"));
     List.length stages
   in
   let run file =
@@ -610,6 +887,46 @@ let validate_cmd =
     in
     match Json.of_string text with
     | Error e -> fail "%s" e
+    | Ok doc when Json.member "traceEvents" doc <> None ->
+        (* A --trace artifact: check span invariants (every end matches
+           the innermost open begin on its track, durations are
+           non-negative, everything is closed) plus the embedded metrics
+           snapshot when present. *)
+        let events =
+          try chrome_events doc with Trace_error e -> fail "%s" e
+        in
+        let spans = ref 0 in
+        let tracks : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+        List.iter (fun (_, _, _, tid) -> Hashtbl.replace tracks tid ()) events;
+        let stacks =
+          try
+            fold_spans
+              ~on_span:(fun name tid dur ->
+                if dur < 0.0 then
+                  fail "span %s on track %d: negative duration %g" name tid dur;
+                incr spans)
+              events
+          with Trace_error e -> fail "%s" e
+        in
+        Hashtbl.iter
+          (fun tid s ->
+            if !s <> [] then
+              fail "track %d: %d unclosed span(s), innermost %S" tid
+                (List.length !s)
+                (fst (List.hd !s)))
+          stacks;
+        (match Json.member "metrics" doc with
+        | Some mx -> check_metrics mx
+        | None -> ());
+        Printf.printf "ok: trace with %d event(s), %d span(s), %d track(s)\n"
+          (List.length events) !spans (Hashtbl.length tracks)
+    | Ok doc
+      when Json.member "schema_version" doc <> None
+           && Json.member "stages" doc <> None ->
+        (* A bare manifest (bench/main.exe's BENCH_repro.json, or
+           manifest.json from repro --out). *)
+        let stages = check_manifest doc in
+        Printf.printf "ok: manifest with %d stage(s)\n" stages
     | Ok doc ->
         let reports =
           match Json.member "reports" doc with
@@ -640,7 +957,10 @@ let validate_cmd =
   in
   Cmd.v
     (Cmd.info "validate"
-       ~doc:"Validate a repro JSON document (reports parse, manifest invariants hold)")
+       ~doc:
+         "Validate a repro JSON document (reports parse, manifest invariants \
+          hold), a bare run manifest, or a --trace file (spans balanced, \
+          durations non-negative, metrics consistent)")
     Term.(const run $ file_arg)
 
 let () =
@@ -653,4 +973,4 @@ let () =
   in
   exit (Cmd.eval (Cmd.group info
        [ list_cmd; repro_cmd; simulate_cmd; characterize_cmd; layout_cmd; dot_cmd;
-         profile_cmd; sweep_cmd; trace_cmd; validate_cmd ]))
+         profile_cmd; sweep_cmd; trace_cmd; trace_summary_cmd; validate_cmd ]))

@@ -1,6 +1,7 @@
 #!/bin/sh
 # Tier-1 verification, run exactly as CI would: the full test suite under
-# both a single worker domain and four, proving parallel == sequential.
+# both a single worker domain and four, proving parallel == sequential,
+# then the end-to-end JSON manifest + span-trace validation (make validate).
 set -eu
 cd "$(dirname "$0")"
 exec make check

@@ -16,6 +16,13 @@ let enabled_flag = ref true
 let registry : counters list ref = ref [] (* reverse registration order *)
 let clearers : (unit -> unit) list ref = ref []
 
+(* Aggregate lookup counters mirrored into the metrics registry (summed
+   over every stage), so the manifest metrics snapshot and `icache-opt
+   validate` can check hits + misses = lookups without this module. *)
+let m_hits = Metrics_registry.counter "layout_cache.hits"
+let m_misses = Metrics_registry.counter "layout_cache.misses"
+let m_lookups = Metrics_registry.counter "layout_cache.lookups"
+
 let set_enabled b = enabled_flag := b
 
 let enabled () = !enabled_flag
@@ -97,7 +104,8 @@ module Stage (S : STAGE) = struct
 
   let find_or_build ~key f =
     if not !enabled_flag then f ()
-    else
+    else begin
+      Metrics_registry.incr m_lookups;
       match
         Mutex.protect lock (fun () ->
             match Hashtbl.find_opt table key with
@@ -106,8 +114,11 @@ module Stage (S : STAGE) = struct
                 Some v
             | None -> None)
       with
-      | Some v -> v
+      | Some v ->
+          Metrics_registry.incr m_hits;
+          v
       | None ->
+          Metrics_registry.incr m_misses;
           let t0 = Unix.gettimeofday () in
           let v = f () in
           let dt = Unix.gettimeofday () -. t0 in
@@ -119,6 +130,7 @@ module Stage (S : STAGE) = struct
               | None ->
                   Hashtbl.add table key v;
                   v)
+    end
 end
 
 (* ------------------------------------------------------------------ *)

@@ -22,8 +22,19 @@ let create ?(spec = Spec.default) ?(words = 2_000_000) ?(seed = 11) ?jobs () =
      the context is bit-identical for every job count. *)
   let captures =
     Manifest.time "trace_capture" (fun () ->
+        Trace_log.with_span "trace_capture"
+          ~args:[ ("workloads", Json.Int (Array.length pairs)) ]
+        @@ fun () ->
         Parallel.map_array ?jobs
           (fun i (w, program) ->
+            Trace_log.with_span "capture_workload"
+              ~args:
+                [
+                  ("workload", Json.String w.Workload.name);
+                  ("words", Json.Int words);
+                  ("domain", Json.Int (Domain.self () :> int));
+                ]
+            @@ fun () ->
             let trace = Trace.create ~capacity:(words / 4) () in
             let profiles, profile_sink = Profile.sinks ~program in
             let sink =

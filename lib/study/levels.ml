@@ -31,7 +31,15 @@ let memo_lock = Mutex.create ()
 let build_uncached (ctx : Context.t) ?jobs ~params level =
   let model = ctx.Context.model in
   let os_profile = ctx.Context.avg_os_profile in
-  let build ((_w : Workload.t), program) =
+  let build ((w : Workload.t), program) =
+    Trace_log.with_span "build_pair"
+      ~args:
+        [
+          ("level", Json.String (to_string level));
+          ("workload", Json.String w.Workload.name);
+          ("domain", Json.Int (Domain.self () :> int));
+        ]
+    @@ fun () ->
     match level with
     | Base -> Program_layout.base ~model ~program
     | CH -> Program_layout.chang_hwu ~model ~program ~os_profile
@@ -76,7 +84,10 @@ let build ctx ?(params = Opt.params ()) level =
   | Some layouts -> layouts
   | None ->
       let layouts =
-        Manifest.time "levels_build" (fun () -> build_uncached ctx ~params level)
+        Manifest.time "levels_build" (fun () ->
+            Trace_log.with_span "levels_build"
+              ~args:[ ("level", Json.String (to_string level)) ]
+              (fun () -> build_uncached ctx ~params level))
       in
       Mutex.protect memo_lock (fun () ->
           if not (Hashtbl.mem memo key) then Hashtbl.add memo key layouts);

@@ -100,9 +100,26 @@ let to_json () =
     if lookups = 0 then 0.0
     else float_of_int layout_totals.Layout_cache.hits /. float_of_int lookups
   in
+  (* GC statistics are a point sample taken now (manifest emission), not
+     an accumulation: quick_stat is cheap and the emission point is the
+     end of the run, so the numbers cover the whole pipeline. *)
+  let gc_json =
+    let g = Gc.quick_stat () in
+    Json.Obj
+      [
+        ("minor_collections", Json.Int g.Gc.minor_collections);
+        ("major_collections", Json.Int g.Gc.major_collections);
+        ("compactions", Json.Int g.Gc.compactions);
+        ("minor_words", Json.Float g.Gc.minor_words);
+        ("promoted_words", Json.Float g.Gc.promoted_words);
+        ("major_words", Json.Float g.Gc.major_words);
+        ("heap_words", Json.Int g.Gc.heap_words);
+        ("top_heap_words", Json.Int g.Gc.top_heap_words);
+      ]
+  in
   Json.Obj
     [
-      ("schema_version", Json.Int 3);
+      ("schema_version", Json.Int 4);
       ( "run",
         match run with
         | None -> Json.Null
@@ -115,6 +132,7 @@ let to_json () =
                 ("seed", Json.Int r.seed);
                 ("jobs", Json.Int r.jobs);
                 ("context_key", Json.String r.context_key);
+                ("gc", gc_json);
               ] );
       ( "stages",
         Json.List
@@ -172,6 +190,7 @@ let to_json () =
              (fun (id, seconds) ->
                Json.Obj [ ("id", Json.String id); ("seconds", Json.Float seconds) ])
              experiment_rows) );
+      ("metrics", Metrics_registry.to_json ());
     ]
 
 let reset () =

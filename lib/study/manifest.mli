@@ -12,9 +12,13 @@
 
     JSON schema (see DESIGN.md for a worked example):
     {v
-    { "schema_version": 3,
+    { "schema_version": 4,
       "run": { "spec_seed": int, "spec_digest": hex, "words": int,
-               "seed": int, "jobs": int, "context_key": hex } | null,
+               "seed": int, "jobs": int, "context_key": hex,
+               "gc": { "minor_collections": int, "major_collections": int,
+                       "compactions": int, "minor_words": float,
+                       "promoted_words": float, "major_words": float,
+                       "heap_words": int, "top_heap_words": int } } | null,
       "stages": [ { "name": string, "count": int, "seconds": float } ],
       "sim_cache": { "hits": int, "misses": int, "lookups": int,
                      "hit_rate": float },
@@ -26,8 +30,15 @@
                  "simulated": int, "replay_passes": int,
                  "passes_saved": int, "events_replayed": int,
                  "events_saved": int },
-      "experiments": [ { "id": string, "seconds": float } ] }
+      "experiments": [ { "id": string, "seconds": float } ],
+      "metrics": { "counters": {..}, "gauges": {..}, "histograms": {..} } }
     v}
+
+    Schema v4 additions: [run.gc] samples [Gc.quick_stat] at emission time
+    so allocation pressure is part of the perf trajectory, and [metrics]
+    embeds the whole {!Metrics_registry} snapshot (cache lookup counters,
+    replay-time histograms, parallel fan-out statistics — see
+    {!Metrics_registry.to_json} for the shape).
 
     The [batch] object aggregates {!Runner.simulate_batch} effectiveness:
     how many sweep members were requested, how many were served from

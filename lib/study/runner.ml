@@ -2,6 +2,24 @@ type run = { counters : Counters.t; os_block_misses : int array }
 
 let default_warmup_fraction = 0.2
 
+(* Replay distributions: how long one sweep member's share of a replay
+   pass took and how fast passes decode events.  Observed per pass (and,
+   for member seconds, once per member riding that pass), so batch fusion
+   shows up as many members sharing one pass's wall-clock. *)
+let member_seconds_hist =
+  Metrics_registry.histogram ~unit_:"seconds" "simulate.member_seconds"
+
+let events_per_sec_hist =
+  Metrics_registry.histogram ~unit_:"events/s" "simulate.pass_events_per_sec"
+
+let record_pass ~members ~events dt =
+  for _ = 1 to members do
+    Metrics_registry.observe member_seconds_hist
+      (dt /. float_of_int (max 1 members))
+  done;
+  if dt > 0.0 then
+    Metrics_registry.observe events_per_sec_hist (float_of_int events /. dt)
+
 (* Warm-up thresholds count replayed executions (Replay.run_range only
    advances on exec events), so they must come from Trace.exec_count: a
    threshold derived from the marker-inclusive Trace.length would drift
@@ -19,16 +37,31 @@ let simulate (ctx : Context.t) ~layouts ~system ?(attribute_os = false)
      shared trace/layout data is immutable, and results merge by index —
      so the output is bit-identical for every job count. *)
   Manifest.time "simulate" @@ fun () ->
+  Trace_log.with_span "simulate"
+    ~args:[ ("workloads", Json.Int (Array.length ctx.Context.pairs)) ]
+  @@ fun () ->
   Parallel.map_array ?jobs
-    (fun i (_w, program) ->
+    (fun i (w, program) ->
+      let trace = ctx.Context.traces.(i) in
+      Trace_log.with_span "replay_pass"
+        ~args:
+          [
+            ("workload", Json.String w.Workload.name);
+            ("members", Json.Int 1);
+            ("events", Json.Int (Trace.length trace));
+            ("domain", Json.Int (Domain.self () :> int));
+          ]
+      @@ fun () ->
+      let t0 = Unix.gettimeofday () in
       let sys = system () in
       if attribute_os then
         System.enable_block_attribution sys ~images:(Program.image_count program)
           ~blocks:(attribution_blocks program);
       let map = Program_layout.code_map layouts.(i) in
-      let trace = ctx.Context.traces.(i) in
       Replay.run_range ~trace ~map ~systems:[| sys |]
         ~warmup:(warmup_of trace ~warmup_fraction);
+      record_pass ~members:1 ~events:(Trace.length trace)
+        (Unix.gettimeofday () -. t0);
       {
         counters = System.counters sys;
         os_block_misses = (if attribute_os then System.block_misses sys ~image:0 else [||]);
@@ -122,12 +155,31 @@ let simulate_batch ctx ~members ?(attribute_os = false)
          domains exactly like [simulate], merging by index. *)
       let per_workload =
         Manifest.time "simulate" @@ fun () ->
+        Trace_log.with_span "simulate_batch"
+          ~args:
+            [
+              ("members", Json.Int n);
+              ("uncached", Json.Int (Array.length reps));
+              ("groups", Json.Int (Array.length groups));
+              ("workloads", Json.Int (Array.length ctx.Context.pairs));
+            ]
+        @@ fun () ->
         Parallel.map_array ?jobs
-          (fun i (_w, program) ->
+          (fun i (w, program) ->
             let trace = ctx.Context.traces.(i) in
             let warmup = warmup_of trace ~warmup_fraction in
             Array.map
               (fun group ->
+                Trace_log.with_span "replay_pass"
+                  ~args:
+                    [
+                      ("workload", Json.String w.Workload.name);
+                      ("members", Json.Int (Array.length group));
+                      ("events", Json.Int (Trace.length trace));
+                      ("domain", Json.Int (Domain.self () :> int));
+                    ]
+                @@ fun () ->
+                let t0 = Unix.gettimeofday () in
                 let rep_layouts, _ = members.(group.(0)) in
                 let map = Program_layout.code_map rep_layouts.(i) in
                 let systems =
@@ -142,6 +194,9 @@ let simulate_batch ctx ~members ?(attribute_os = false)
                     group
                 in
                 Replay.run_range ~trace ~map ~systems ~warmup;
+                record_pass ~members:(Array.length group)
+                  ~events:(Trace.length trace)
+                  (Unix.gettimeofday () -. t0);
                 Array.map
                   (fun sys ->
                     {

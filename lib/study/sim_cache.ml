@@ -22,6 +22,13 @@ let lock = Mutex.create ()
 let hit_count = ref 0
 let miss_count = ref 0
 
+(* Mirrored into the metrics registry so the manifest's metrics snapshot
+   (and `icache-opt validate`'s hits + misses = lookups check) sees them
+   without reaching into this module. *)
+let m_hits = Metrics_registry.counter "sim_cache.hits"
+let m_misses = Metrics_registry.counter "sim_cache.misses"
+let m_lookups = Metrics_registry.counter "sim_cache.lookups"
+
 let copy_entry e =
   {
     counters = Counters.copy e.counters;
@@ -29,13 +36,16 @@ let copy_entry e =
   }
 
 let find k =
+  Metrics_registry.incr m_lookups;
   Mutex.protect lock (fun () ->
       match Hashtbl.find_opt table k with
       | Some entries ->
           incr hit_count;
+          Metrics_registry.incr m_hits;
           Some (Array.map copy_entry entries)
       | None ->
           incr miss_count;
+          Metrics_registry.incr m_misses;
           None)
 
 let add k entries =

@@ -91,6 +91,54 @@ let cumulative_fraction_below t i =
     float_of_int !acc /. float_of_int t.total
   end
 
+(* Inclusive-lo / exclusive-hi numeric bounds of bucket [i], used for the
+   rank interpolation in [percentile].  Open-ended buckets collapse to
+   their finite edge so a percentile never invents values outside the
+   recorded range's known bounds. *)
+let bucket_bounds t i =
+  match t.shape with
+  | Linear { lo; hi; bucket } ->
+      let b_lo = lo + (i * bucket) in
+      (float_of_int b_lo, float_of_int (min hi (b_lo + bucket)))
+  | Log2 { max_exp } ->
+      if i = 0 then (0.0, 1.0)
+      else if i >= max_exp then
+        let lo = float_of_int ((1 lsl max_exp) - 1) in
+        (lo, lo)
+      else
+        (float_of_int ((1 lsl i) - 1), float_of_int ((1 lsl (i + 1)) - 1))
+  | Explicit edges ->
+      let n = Array.length edges in
+      if i = 0 then (float_of_int edges.(0), float_of_int edges.(0))
+      else if i >= n then (float_of_int edges.(n - 1), float_of_int edges.(n - 1))
+      else (float_of_int edges.(i - 1), float_of_int edges.(i))
+
+let percentile t p =
+  if t.total = 0 then 0.0
+  else begin
+    let p = if p < 0.0 then 0.0 else if p > 1.0 then 1.0 else p in
+    let rank = p *. float_of_int t.total in
+    let i = ref 0 in
+    let cum = ref 0 in
+    let n = bucket_count t in
+    while !i < n - 1 && float_of_int (!cum + t.counts.(!i)) < rank do
+      cum := !cum + t.counts.(!i);
+      incr i
+    done;
+    (* Skip trailing empty buckets the loop may have landed on. *)
+    while !i > 0 && t.counts.(!i) = 0 do decr i done;
+    (* Rank 0 never advances the walk; if bucket 0 is empty, the answer
+       is the first occupied bucket, not the histogram's lower bound. *)
+    while !i < n - 1 && t.counts.(!i) = 0 do incr i done;
+    let lo, hi = bucket_bounds t !i in
+    let c = t.counts.(!i) in
+    if c = 0 then lo
+    else
+      let within = (rank -. float_of_int !cum) /. float_of_int c in
+      let within = if within < 0.0 then 0.0 else if within > 1.0 then 1.0 else within in
+      lo +. (within *. (hi -. lo))
+  end
+
 let same_shape a b =
   match (a.shape, b.shape) with
   | Linear x, Linear y -> x.lo = y.lo && x.hi = y.hi && x.bucket = y.bucket

@@ -43,6 +43,15 @@ val to_list : t -> (string * int) list
 val cumulative_fraction_below : t -> int -> float
 (** Fraction of samples in buckets [0 .. i] inclusive. *)
 
+val percentile : t -> float -> float
+(** [percentile h p] (with [p] clamped into [\[0,1\]]) estimates the value
+    at rank [p * total] by walking the cumulative counts and interpolating
+    linearly inside the bucket containing the rank; open-ended buckets
+    (below the first explicit edge, at or above the last, the log2
+    overflow bucket) answer with their finite boundary.  [0.] on an empty
+    histogram.  Exact for single-bucket distributions; otherwise accurate
+    to the bucket width. *)
+
 val merge : t -> t -> unit
 (** [merge dst src] adds [src]'s counts into [dst].
     @raise Invalid_argument if the bucketings differ. *)

@@ -17,6 +17,16 @@ let default_jobs () =
 
 let set_jobs n = override := Some (clamp n)
 
+(* Observability: each fork-join phase counts the domains it spawned and
+   reports every worker's busy wall-clock through the metrics registry, so
+   domain imbalance (one slot grinding while the rest idle at the join) is
+   visible in the metrics snapshot without a profiler attached. *)
+let fanouts = Metrics_registry.counter "parallel.fanouts"
+let domains_used = Metrics_registry.counter "parallel.domains_used"
+
+let busy_hist =
+  Metrics_registry.histogram ~unit_:"seconds" "parallel.domain_busy_seconds"
+
 let map_array ?jobs f arr =
   let n = Array.length arr in
   let j =
@@ -25,9 +35,13 @@ let map_array ?jobs f arr =
   if j <= 1 || n <= 1 then Array.mapi f arr
   else begin
     let results = Array.make n None in
+    Metrics_registry.incr fanouts;
+    Metrics_registry.incr ~by:j domains_used;
     (* Round-robin: domain [d] owns indices d, d+j, d+2j, ...; no slot is
        shared, so plain writes need no synchronization before the join. *)
     let worker d () =
+      Trace_log.set_track (d + 1);
+      let t0 = Unix.gettimeofday () in
       let i = ref d in
       let first_error = ref None in
       while !i < n do
@@ -35,6 +49,7 @@ let map_array ?jobs f arr =
          with e -> if !first_error = None then first_error := Some e);
         i := !i + j
       done;
+      Metrics_registry.observe busy_hist (Unix.gettimeofday () -. t0);
       !first_error
     in
     let domains = List.init j (fun d -> Domain.spawn (worker d)) in

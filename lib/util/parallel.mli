@@ -29,4 +29,12 @@ val map_array : ?jobs:int -> (int -> 'a -> 'b) -> 'a array -> 'b array
     inline without spawning.  Indices are distributed round-robin, each slot
     is written by exactly one domain, and all domains are joined before
     returning.  If any application of [f] raises, the first exception (in
-    domain order) is re-raised after every domain has been joined. *)
+    domain order) is re-raised after every domain has been joined.
+
+    Observability: every fork-out bumps the [parallel.fanouts] and
+    [parallel.domains_used] counters and reports each worker's busy
+    wall-clock into the [parallel.domain_busy_seconds] histogram (all in
+    {!Metrics_registry}), and labels worker [d]'s {!Trace_log} events with
+    track [d + 1] so spans recorded inside [f] land on one timeline track
+    per worker slot.  The inline path (one job or a short array) records
+    none of these — the counters measure actual fan-out. *)

@@ -68,6 +68,19 @@ let golden name run () =
           (context expect) (context out)
       end
 
+(* The same run with span tracing enabled.  Tracing must be a pure
+   observer: every transcript stays byte-identical to the checked-in
+   golden file, which the untraced suite above already equals — so this
+   suite proves traced == untraced for all experiments. *)
+let traced name run () =
+  Trace_log.reset ();
+  Trace_log.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Trace_log.set_enabled false;
+      Trace_log.reset ())
+    (golden name run)
+
 let () =
   Alcotest.run "golden"
     [
@@ -77,5 +90,12 @@ let () =
             case
               (e.Experiments.id ^ " matches checked-in transcript")
               (golden e.Experiments.id (fun ctx -> Experiments.run e ctx)))
+          Experiments.all );
+      ( "experiment-output-traced",
+        List.map
+          (fun (e : Experiments.t) ->
+            case
+              (e.Experiments.id ^ " byte-identical with tracing enabled")
+              (traced e.Experiments.id (fun ctx -> Experiments.run e ctx)))
           Experiments.all );
     ]
